@@ -1,0 +1,111 @@
+// Command ninjabench regenerates every table and figure of the paper's
+// evaluation section (§IV) and prints them in the paper's layout.
+//
+// Usage:
+//
+//	ninjabench -run=all            # everything (Fig. 7 takes the longest)
+//	ninjabench -run=table2
+//	ninjabench -run=fig7 -scale=0.25
+//	ninjabench -run=fig8a,fig8b
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated: table1,table2,fig6,fig7,fig8a,fig8b or 'all'")
+	scale := flag.Float64("scale", 1.0, "iteration scale for fig7 (1.0 = full class D)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *run == "all" {
+		for _, id := range []string{"table1", "table2", "fig6", "fig7", "fig8a", "fig8b",
+			"ext-scalability", "ext-coldvslive", "ext-bypass"} {
+			want[id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+
+	fail := func(id string, err error) {
+		fmt.Fprintf(os.Stderr, "ninjabench: %s: %v\n", id, err)
+		os.Exit(1)
+	}
+
+	if want["table1"] {
+		fmt.Println(experiments.Table1())
+	}
+	if want["table2"] {
+		rows, err := experiments.Table2()
+		if err != nil {
+			fail("table2", err)
+		}
+		fmt.Println(experiments.Table2Render(rows))
+	}
+	if want["fig6"] {
+		rows, err := experiments.Fig6(nil)
+		if err != nil {
+			fail("fig6", err)
+		}
+		fmt.Println(experiments.Fig6Render(rows))
+	}
+	if want["fig7"] {
+		rows, err := experiments.Fig7(nil, *scale)
+		if err != nil {
+			fail("fig7", err)
+		}
+		if *scale != 1.0 {
+			fmt.Printf("(fig7 at scale %.2f — iteration counts reduced proportionally)\n", *scale)
+		}
+		fmt.Println(experiments.Fig7Render(rows))
+	}
+	for _, f := range []struct {
+		id    string
+		ranks int
+	}{{"fig8a", 1}, {"fig8b", 8}} {
+		if !want[f.id] {
+			continue
+		}
+		res, err := experiments.Fig8(f.ranks, 40)
+		if err != nil {
+			fail(f.id, err)
+		}
+		fmt.Println(experiments.Fig8Render(res))
+		fmt.Println(res.Series.Bars(50))
+		for i, rep := range res.Reports {
+			fmt.Printf("migration %d: coordination %.2fs, hotplug %.2fs, migration %.2fs, link-up %.2fs, total %.2fs\n",
+				i+1, rep.Coordination.Seconds(), rep.Hotplug().Seconds(),
+				rep.Migration.Seconds(), rep.Linkup.Seconds(), rep.Total.Seconds())
+		}
+		fmt.Println()
+	}
+	if want["ext-scalability"] {
+		rows, err := experiments.ExtScalability(nil)
+		if err != nil {
+			fail("ext-scalability", err)
+		}
+		fmt.Println(experiments.ExtScalabilityRender(rows))
+	}
+	if want["ext-coldvslive"] {
+		rows, err := experiments.ExtColdVsLive(nil)
+		if err != nil {
+			fail("ext-coldvslive", err)
+		}
+		fmt.Println(experiments.ExtColdVsLiveRender(rows))
+	}
+	if want["ext-bypass"] {
+		rows, err := experiments.ExtBypassOverhead()
+		if err != nil {
+			fail("ext-bypass", err)
+		}
+		fmt.Println(experiments.ExtBypassOverheadRender(rows))
+	}
+}

@@ -1,0 +1,121 @@
+// Command ninjasim runs a single configurable Ninja migration scenario on
+// the simulated AGC testbed and prints the workload timeline plus the
+// migration overhead breakdown.
+//
+// Examples:
+//
+//	ninjasim -vms=4 -ranks=8 -workload=bcast -steps=20 -migrate-step=5 -dst=eth
+//	ninjasim -vms=8 -ranks=1 -workload=memtest -array-gb=8 -migrate-at=30 -dst=ib
+//	ninjasim -vms=8 -ranks=8 -workload=CG -scale=0.1 -migrate-at=60 -dst=ib
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/ninja"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	nVMs := flag.Int("vms", 4, "number of VMs (1-8)")
+	ranks := flag.Int("ranks", 1, "MPI ranks per VM")
+	workload := flag.String("workload", "bcast", "bcast | memtest | BT | CG | FT | LU")
+	steps := flag.Int("steps", 20, "iterations (bcast) / passes (memtest)")
+	arrayGB := flag.Float64("array-gb", 2, "memtest array size per VM [GB]")
+	scale := flag.Float64("scale", 0.1, "NPB iteration scale")
+	migrateAt := flag.Float64("migrate-at", 30, "trigger time [s after start]; <0 disables")
+	dst := flag.String("dst", "eth", "destination cluster: ib | eth")
+	mode := flag.String("mode", "live", "transfer mechanism: live | cold (checkpoint/restart via NFS)")
+	clr := flag.Bool("continue-like-restart", true, "set ompi_cr_continue_like_restart")
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "ninjasim:", err)
+		os.Exit(1)
+	}
+
+	d, err := experiments.Deploy(experiments.DeployConfig{
+		NVMs: *nVMs, RanksPerVM: *ranks, AttachHCA: true,
+		DstHasIB: strings.EqualFold(*dst, "ib"), ContinueLikeRestart: *clr,
+	})
+	if err != nil {
+		die(err)
+	}
+
+	series := metrics.Series{Label: *workload}
+	var w workloads.Workload
+	switch strings.ToLower(*workload) {
+	case "bcast":
+		w = &workloads.BcastReduce{BytesPerNode: 8e9, Steps: *steps,
+			StepDone: func(s int, e sim.Time) { series.Add(s+1, e) }}
+	case "memtest":
+		w = &workloads.Memtest{ArrayBytes: *arrayGB * 1e9, Passes: *steps}
+	default:
+		b, err := workloads.NPBClassD(strings.ToUpper(*workload))
+		if err != nil {
+			die(err)
+		}
+		b.Iterations = int(float64(b.Iterations) * *scale)
+		if b.Iterations < 4 {
+			b.Iterations = 4
+		}
+		b.IterDone = func(s int, e sim.Time) { series.Add(s+1, e) }
+		w = b
+	}
+
+	appDone, err := workloads.Run(d.Job, w)
+	if err != nil {
+		die(err)
+	}
+
+	var rep ninja.Report
+	migrated := false
+	if *migrateAt >= 0 {
+		d.K.Go("driver", func(p *sim.Proc) {
+			p.Sleep(sim.FromSeconds(*migrateAt))
+			dsts := make([]*hw.Node, *nVMs)
+			for i := range dsts {
+				dsts[i] = d.Dst.Nodes[i]
+			}
+			var r ninja.Report
+			var err error
+			if strings.EqualFold(*mode, "cold") {
+				r, err = d.Orch.ColdMigrate(p, dsts)
+			} else {
+				r, err = d.Orch.Migrate(p, dsts)
+			}
+			if err != nil {
+				die(err)
+			}
+			rep = r
+			migrated = true
+		})
+	}
+	start := d.K.Now()
+	d.K.Run()
+	if !appDone.Done() {
+		die(fmt.Errorf("workload did not finish (deadlock?)"))
+	}
+
+	fmt.Printf("workload %s on %d VMs × %d ranks finished in %.2fs\n",
+		*workload, *nVMs, *ranks, (d.K.Now() - start).Seconds())
+	if migrated {
+		fmt.Printf("ninja migration → %s cluster: coordination %.2fs, detach %.2fs, migration %.2fs, attach %.2fs, link-up %.2fs, total %.2fs\n",
+			*dst, rep.Coordination.Seconds(), rep.Detach.Seconds(), rep.Migration.Seconds(),
+			rep.Attach.Seconds(), rep.Linkup.Seconds(), rep.Total.Seconds())
+		if name, err := d.Job.Rank(0).TransportTo(d.Job.Size() - 1); err == nil {
+			fmt.Printf("transport now: %s\n", name)
+		}
+	}
+	if len(series.Points) > 0 {
+		fmt.Println()
+		fmt.Println(series.Bars(50))
+	}
+}

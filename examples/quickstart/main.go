@@ -1,0 +1,93 @@
+// Quickstart: the smallest end-to-end Ninja migration.
+//
+// Two VMs on an InfiniBand cluster run a 2-rank MPI job. We live-migrate
+// both VMs to an Ethernet cluster while the job keeps iterating — no
+// process restart, the transport switches from openib to tcp underneath.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/fabric"
+	"repro/internal/hw"
+	"repro/internal/mpi"
+	"repro/internal/ninja"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/vmm"
+)
+
+func main() {
+	// 1. A simulated data center: 8 InfiniBand nodes + 8 Ethernet nodes
+	//    (the paper's AGC cluster), shared NFS for the VM images.
+	k := sim.NewKernel()
+	testbed, ibCluster, ethCluster := hw.NewAGC(k)
+	nfs := storage.NewNFS("nfs0")
+	nfs.MountAll(ibCluster, ethCluster)
+
+	// 2. Two VMs on InfiniBand nodes, HCAs passed through (VMM-bypass).
+	var vms []*vmm.VM
+	for i := 0; i < 2; i++ {
+		vm, err := vmm.New(k, ibCluster.Nodes[i], testbed.Segment, vmm.Config{
+			Name: fmt.Sprintf("vm%d", i), VCPUs: 8, MemoryBytes: 20 * hw.GB,
+		}, vmm.DefaultParams())
+		if err != nil {
+			log.Fatal(err)
+		}
+		vm.SetStorage(nfs)
+		if err := vm.AttachBootHCA(); err != nil {
+			log.Fatal(err)
+		}
+		vms = append(vms, vm)
+	}
+	k.RunUntil(fabric.DefaultIBTrainingTime + sim.Second) // links train
+
+	// 3. An MPI job, one rank per VM, with the recovery knob set.
+	job, err := mpi.NewJob(k, mpi.Config{VMs: vms, RanksPerVM: 1, ContinueLikeRestart: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	orch := ninja.New(job, ninja.Options{})
+
+	// 4. The application: iterate compute + broadcast, probing for
+	//    pending checkpoints at each boundary.
+	iterations := make([]int, job.Size())
+	appDone := job.Launch("app", func(p *sim.Proc, r *mpi.Rank) {
+		for i := 0; i < 30; i++ {
+			r.FTProbe(p)
+			r.Compute(p, 1.0)
+			if err := r.Bcast(p, 0, 64e6); err != nil {
+				log.Fatalf("rank %d: %v", r.RankID(), err)
+			}
+			iterations[r.RankID()]++
+		}
+	})
+
+	before, _ := job.Rank(0).TransportTo(1)
+
+	// 5. Ninja migration to the Ethernet cluster, 10 s into the run.
+	var rep ninja.Report
+	k.Go("driver", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Second)
+		var err error
+		rep, err = orch.Migrate(p, []*hw.Node{ethCluster.Nodes[0], ethCluster.Nodes[1]})
+		if err != nil {
+			log.Fatal(err)
+		}
+	})
+	k.Run()
+
+	after, _ := job.Rank(0).TransportTo(1)
+	fmt.Printf("transport before: %-7s after: %s\n", before, after)
+	fmt.Printf("migration: coordination %.2fs, hotplug %.2fs, migration %.2fs, link-up %.2fs (total %.2fs)\n",
+		rep.Coordination.Seconds(), rep.Hotplug().Seconds(),
+		rep.Migration.Seconds(), rep.Linkup.Seconds(), rep.Total.Seconds())
+	fmt.Printf("iterations completed: rank0=%d rank1=%d (no restart)\n", iterations[0], iterations[1])
+	fmt.Printf("VMs now on: %s, %s\n", vms[0].Node().Name, vms[1].Node().Name)
+	if !appDone.Done() {
+		log.Fatal("application did not finish")
+	}
+}

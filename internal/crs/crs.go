@@ -1,0 +1,114 @@
+// Package crs models Open MPI's modular checkpoint/restart stack: the
+// OPAL CRS (single-process checkpoint/restart service) with its SELF and
+// BLCR components. The paper builds Ninja migration on the SELF component:
+// instead of writing a process image, the application-supplied callbacks
+// hand control to the SymVirt coordinator, which pauses the whole VM
+// (§III-C: "Instead of implementing a new OPAL CRS component for SymVirt,
+// we used a SELF component").
+package crs
+
+import (
+	"repro/internal/sim"
+)
+
+// Service is the OPAL CRS interface: per-process checkpoint hooks invoked
+// by the MPI runtime's ft_event machinery.
+type Service interface {
+	// Checkpoint runs when the process state is quiesced (pre-checkpoint
+	// complete, interconnect resources released).
+	Checkpoint(p *sim.Proc)
+	// Continue runs when the same process instance resumes execution.
+	Continue(p *sim.Proc)
+	// Restart runs when the process is re-instantiated from an image
+	// (not used by SymVirt, which is VM-level).
+	Restart(p *sim.Proc)
+}
+
+// Callbacks are application-level handlers for the SELF component
+// (registered via LD_PRELOAD in the paper: libsymvirt.so).
+type Callbacks struct {
+	Checkpoint func(p *sim.Proc)
+	Continue   func(p *sim.Proc)
+	Restart    func(p *sim.Proc)
+}
+
+// SELF is the user-level checkpoint component: it only invokes the
+// registered application callbacks.
+type SELF struct{ CB Callbacks }
+
+// NewSELF returns a SELF service with the given callbacks.
+func NewSELF(cb Callbacks) *SELF { return &SELF{CB: cb} }
+
+// Checkpoint implements Service.
+func (s *SELF) Checkpoint(p *sim.Proc) {
+	if s.CB.Checkpoint != nil {
+		s.CB.Checkpoint(p)
+	}
+}
+
+// Continue implements Service.
+func (s *SELF) Continue(p *sim.Proc) {
+	if s.CB.Continue != nil {
+		s.CB.Continue(p)
+	}
+}
+
+// Restart implements Service.
+func (s *SELF) Restart(p *sim.Proc) {
+	if s.CB.Restart != nil {
+		s.CB.Restart(p)
+	}
+}
+
+// Noop is a CRS that does nothing (checkpointing disabled).
+type Noop struct{}
+
+// Checkpoint implements Service.
+func (Noop) Checkpoint(*sim.Proc) {}
+
+// Continue implements Service.
+func (Noop) Continue(*sim.Proc) {}
+
+// Restart implements Service.
+func (Noop) Restart(*sim.Proc) {}
+
+// BLCR models the Berkeley Lab Checkpoint/Restart component: it dumps the
+// process image to storage at checkpoint time. The paper contrasts it with
+// SELF: BLCR cannot save network state, which is exactly why Open MPI
+// tears down and rebuilds BTLs around a checkpoint — the behaviour Ninja
+// migration reuses.
+type BLCR struct {
+	// ImageBytes is the process image size.
+	ImageBytes float64
+	// DiskBandwidth is the checkpoint-store write throughput (bytes/sec).
+	DiskBandwidth float64
+	// Checkpoints counts completed image dumps.
+	Checkpoints int
+	// Restarts counts image restores.
+	Restarts int
+}
+
+// NewBLCR returns a BLCR service writing images of the given size at the
+// given bandwidth.
+func NewBLCR(imageBytes, diskBandwidth float64) *BLCR {
+	return &BLCR{ImageBytes: imageBytes, DiskBandwidth: diskBandwidth}
+}
+
+// Checkpoint implements Service: write the process image.
+func (b *BLCR) Checkpoint(p *sim.Proc) {
+	if b.DiskBandwidth > 0 {
+		p.Sleep(sim.FromSeconds(b.ImageBytes / b.DiskBandwidth))
+	}
+	b.Checkpoints++
+}
+
+// Continue implements Service.
+func (b *BLCR) Continue(*sim.Proc) {}
+
+// Restart implements Service: read the image back.
+func (b *BLCR) Restart(p *sim.Proc) {
+	if b.DiskBandwidth > 0 {
+		p.Sleep(sim.FromSeconds(b.ImageBytes / b.DiskBandwidth))
+	}
+	b.Restarts++
+}

@@ -1,0 +1,82 @@
+package crs
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSELFCallbacks(t *testing.T) {
+	k := sim.NewKernel()
+	var order []string
+	s := NewSELF(Callbacks{
+		Checkpoint: func(p *sim.Proc) { order = append(order, "ckpt") },
+		Continue:   func(p *sim.Proc) { order = append(order, "cont") },
+		Restart:    func(p *sim.Proc) { order = append(order, "rst") },
+	})
+	k.Go("x", func(p *sim.Proc) {
+		s.Checkpoint(p)
+		s.Continue(p)
+		s.Restart(p)
+	})
+	k.Run()
+	if len(order) != 3 || order[0] != "ckpt" || order[1] != "cont" || order[2] != "rst" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSELFNilCallbacksSafe(t *testing.T) {
+	k := sim.NewKernel()
+	s := NewSELF(Callbacks{})
+	k.Go("x", func(p *sim.Proc) {
+		s.Checkpoint(p)
+		s.Continue(p)
+		s.Restart(p)
+	})
+	k.Run()
+}
+
+func TestNoop(t *testing.T) {
+	k := sim.NewKernel()
+	var n Noop
+	k.Go("x", func(p *sim.Proc) {
+		n.Checkpoint(p)
+		n.Continue(p)
+		n.Restart(p)
+		if p.Now() != 0 {
+			t.Error("Noop consumed time")
+		}
+	})
+	k.Run()
+}
+
+func TestBLCRTiming(t *testing.T) {
+	// 10 GB image at 1 GB/s: checkpoint and restart each cost 10 s — the
+	// disk-bound cost SymVirt's SELF-based approach avoids.
+	k := sim.NewKernel()
+	b := NewBLCR(10e9, 1e9)
+	var ckptAt, rstAt sim.Time
+	k.Go("x", func(p *sim.Proc) {
+		b.Checkpoint(p)
+		ckptAt = p.Now()
+		b.Continue(p)
+		b.Restart(p)
+		rstAt = p.Now()
+	})
+	k.Run()
+	if ckptAt != 10*sim.Second {
+		t.Fatalf("checkpoint at %v, want 10s", ckptAt)
+	}
+	if rstAt != 20*sim.Second {
+		t.Fatalf("restart at %v, want 20s", rstAt)
+	}
+	if b.Checkpoints != 1 || b.Restarts != 1 {
+		t.Fatalf("counters: %d/%d", b.Checkpoints, b.Restarts)
+	}
+}
+
+func TestServiceInterfaceSatisfied(t *testing.T) {
+	var _ Service = &SELF{}
+	var _ Service = Noop{}
+	var _ Service = &BLCR{}
+}

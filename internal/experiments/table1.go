@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"repro/internal/hw"
+	"repro/internal/metrics"
+)
+
+// Table1 reproduces Table I: the AGC cluster specification, verified
+// against the simulated testbed model (core counts, memory, interconnect
+// bandwidths are cross-checked by the test suite).
+func Table1() *metrics.Table {
+	t := metrics.NewTable("Table I — AGC cluster specifications", "Item", "Value")
+	for _, row := range hw.AGCSpecTable() {
+		t.AddRow(row.Item, row.Value)
+	}
+	return t
+}

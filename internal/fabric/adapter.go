@@ -1,0 +1,95 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Tech identifies an interconnect technology.
+type Tech int
+
+const (
+	// InfiniBand is a VMM-bypass-capable RDMA interconnect (QDR in the
+	// paper's testbed).
+	InfiniBand Tech = iota
+	// Ethernet is a TCP/IP interconnect (10 GbE in the paper's testbed).
+	Ethernet
+)
+
+// String returns the technology name.
+func (t Tech) String() string {
+	switch t {
+	case InfiniBand:
+		return "InfiniBand"
+	case Ethernet:
+		return "Ethernet"
+	default:
+		return fmt.Sprintf("Tech(%d)", int(t))
+	}
+}
+
+// Switch is a non-blocking crossbar for one technology. Adapters attached
+// to the same switch can reach each other.
+type Switch struct {
+	Name string
+	Tech Tech
+	net  *Network
+}
+
+// NewSwitch creates a switch on the network.
+func (n *Network) NewSwitch(name string, tech Tech) *Switch {
+	return &Switch{Name: name, Tech: tech, net: n}
+}
+
+// Network returns the network this switch belongs to.
+func (s *Switch) Network() *Network { return s.net }
+
+// Adapter is one attachment point (a NIC or HCA port) cabled to a switch.
+// It owns an up-link (adapter→switch) and a down-link (switch→adapter).
+type Adapter struct {
+	Name string
+	sw   *Switch
+	up   *Link
+	down *Link
+}
+
+// NewAdapter attaches a new adapter to the switch with the given link
+// bandwidth (bytes/sec, each direction) and one-way latency (split across
+// the up and down links).
+func (s *Switch) NewAdapter(name string, bandwidth float64, latency sim.Time) *Adapter {
+	half := latency / 2
+	return &Adapter{
+		Name: name,
+		sw:   s,
+		up:   s.net.NewLink(name+"/up", bandwidth, half),
+		down: s.net.NewLink(name+"/down", bandwidth, latency-half),
+	}
+}
+
+// Switch returns the switch the adapter is cabled to.
+func (a *Adapter) Switch() *Switch { return a.sw }
+
+// Tech returns the adapter's interconnect technology.
+func (a *Adapter) Tech() Tech { return a.sw.Tech }
+
+// UpLink returns the adapter→switch link.
+func (a *Adapter) UpLink() *Link { return a.up }
+
+// DownLink returns the switch→adapter link.
+func (a *Adapter) DownLink() *Link { return a.down }
+
+// Reachable reports whether two adapters can exchange traffic: they share
+// a switch, or their switches are joined (possibly transitively) by trunks.
+func Reachable(a, b *Adapter) bool { return RouteReachable(a, b) }
+
+// Path returns the link path for a transfer from src to dst (their
+// up/down links plus any trunk hops). It panics when no route exists; a
+// transfer from an adapter to itself (loopback) has an empty path.
+func Path(src, dst *Adapter) []*Link {
+	path, err := Route(src, dst)
+	if err != nil {
+		panic(fmt.Sprintf("fabric: no path between %q and %q", src.Name, dst.Name))
+	}
+	return path
+}

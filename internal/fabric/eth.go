@@ -1,0 +1,245 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// IP is a simplified layer-3 address on an Ethernet segment.
+type IP uint32
+
+// String formats the IP dotted-quad style.
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// Errors returned by Ethernet operations.
+var (
+	ErrNICDown       = errors.New("fabric: NIC is down")
+	ErrHostUnreach   = errors.New("fabric: no route to host")
+	ErrConnReset     = errors.New("fabric: connection reset")
+	ErrAddrExhausted = errors.New("fabric: segment address space exhausted")
+)
+
+// EthSegment is one Ethernet broadcast domain (a switch plus its address
+// assignment). Both real 10 GbE NICs and para-virtualized virtio-net
+// devices attach here.
+type EthSegment struct {
+	sw     *Switch
+	nextIP IP
+	byIP   map[IP]*NIC
+	// MsgLatency is the per-message TCP/IP software+wire latency.
+	MsgLatency sim.Time
+}
+
+// DefaultEthMsgLatency is a kernel-TCP-over-10GbE round latency.
+const DefaultEthMsgLatency = 30 * sim.Microsecond
+
+// DefaultVirtioExtraLatency is the added per-message cost of the
+// para-virtualized virtio-net path (VM exits, vhost wakeups).
+const DefaultVirtioExtraLatency = 25 * sim.Microsecond
+
+// NewEthSegment creates a segment for an Ethernet switch.
+func NewEthSegment(sw *Switch) *EthSegment {
+	if sw.Tech != Ethernet {
+		panic("fabric: Ethernet segment on non-Ethernet switch")
+	}
+	return &EthSegment{
+		sw:         sw,
+		nextIP:     0x0A000001, // 10.0.0.1
+		byIP:       make(map[IP]*NIC),
+		MsgLatency: DefaultEthMsgLatency,
+	}
+}
+
+// Network returns the underlying flow network.
+func (s *EthSegment) Network() *Network { return s.sw.net }
+
+// Lookup resolves an IP to a NIC on this segment.
+func (s *EthSegment) Lookup(ip IP) (*NIC, bool) {
+	n, ok := s.byIP[ip]
+	return n, ok
+}
+
+// NIC is an Ethernet device: either a physical NIC or a virtio-net device
+// whose backend shares the host's physical port.
+type NIC struct {
+	Name    string
+	seg     *EthSegment
+	adapter *Adapter
+	ip      IP
+	up      bool
+	virtio  bool
+	// CPUCostPerByte is host CPU work (core-seconds per byte) consumed by
+	// the para-virtualized datapath (vhost); zero for physical NICs or
+	// VMM-bypass devices. The caller (guest driver / BTL) charges it.
+	CPUCostPerByte float64
+	extraLatency   sim.Time
+	// uplink, for a virtio NIC, is the host physical NIC its backend
+	// bridges through; virtio traffic traverses the uplink's links too.
+	// Live migration re-points it at the destination host's NIC.
+	uplink *NIC
+}
+
+// SetUplink bridges a virtio NIC through a host physical NIC. Passing nil
+// detaches the bridge (traffic then uses only the vNIC's own links).
+func (n *NIC) SetUplink(host *NIC) { n.uplink = host }
+
+// Uplink returns the bridged host NIC, or nil.
+func (n *NIC) Uplink() *NIC { return n.uplink }
+
+// txPath returns the transmit-side link chain (vNIC up, then host NIC up).
+func (n *NIC) txPath() []*Link {
+	if n.uplink != nil && n.uplink != n {
+		return []*Link{n.adapter.up, n.uplink.adapter.up}
+	}
+	return []*Link{n.adapter.up}
+}
+
+// rxPath returns the receive-side link chain (host NIC down, then vNIC down).
+func (n *NIC) rxPath() []*Link {
+	if n.uplink != nil && n.uplink != n {
+		return []*Link{n.uplink.adapter.down, n.adapter.down}
+	}
+	return []*Link{n.adapter.down}
+}
+
+// NewNIC attaches a physical NIC on the segment's home switch with the
+// given bandwidth (bytes/sec). Ethernet link-up is effectively instant
+// (Table II measures ≈0 s), so the NIC is up and addressed immediately.
+func (s *EthSegment) NewNIC(name string, bandwidth float64) *NIC {
+	return s.newNIC(s.sw, name, bandwidth, false, 0, 0)
+}
+
+// NewNICOn attaches a physical NIC on another Ethernet switch that shares
+// this segment's address space (multi-switch/WAN topologies built with
+// Network.Connect).
+func (s *EthSegment) NewNICOn(sw *Switch, name string, bandwidth float64) *NIC {
+	if sw.Tech != Ethernet {
+		panic("fabric: Ethernet NIC on non-Ethernet switch")
+	}
+	return s.newNIC(sw, name, bandwidth, false, 0, 0)
+}
+
+// NewVirtioNIC attaches a para-virtualized virtio-net device. Its traffic
+// costs host CPU (cpuCostPerByte core-seconds/byte) and extra per-message
+// latency, reproducing the virtualization overhead the paper's VMM-bypass
+// design avoids on the InfiniBand path.
+func (s *EthSegment) NewVirtioNIC(name string, bandwidth float64, cpuCostPerByte float64) *NIC {
+	return s.newNIC(s.sw, name, bandwidth, true, cpuCostPerByte, DefaultVirtioExtraLatency)
+}
+
+func (s *EthSegment) newNIC(sw *Switch, name string, bandwidth float64, virtio bool, cpuCost float64, extraLat sim.Time) *NIC {
+	ip := s.nextIP
+	if _, taken := s.byIP[ip]; taken {
+		panic(ErrAddrExhausted)
+	}
+	s.nextIP++
+	n := &NIC{
+		Name:           name,
+		seg:            s,
+		adapter:        sw.NewAdapter(name, bandwidth, 0),
+		ip:             ip,
+		up:             true,
+		virtio:         virtio,
+		CPUCostPerByte: cpuCost,
+		extraLatency:   extraLat,
+	}
+	s.byIP[ip] = n
+	return n
+}
+
+// IP returns the NIC's address.
+func (n *NIC) IP() IP { return n.ip }
+
+// Up reports whether the NIC is administratively up.
+func (n *NIC) Up() bool { return n.up }
+
+// Virtio reports whether this is a para-virtualized device.
+func (n *NIC) Virtio() bool { return n.virtio }
+
+// Adapter returns the underlying fabric attachment.
+func (n *NIC) Adapter() *Adapter { return n.adapter }
+
+// Segment returns the NIC's Ethernet segment.
+func (n *NIC) Segment() *EthSegment { return n.seg }
+
+// SetUp administratively raises or lowers the NIC. Ethernet has no
+// multi-second training phase: the transition is immediate.
+func (n *NIC) SetUp(up bool) { n.up = up }
+
+// MsgLatency returns the per-message latency for traffic through this NIC
+// (segment base latency plus any virtio penalty).
+func (n *NIC) MsgLatency() sim.Time { return n.seg.MsgLatency + n.extraLatency }
+
+// SendTo transmits bytes to the NIC that owns dst and returns a completion
+// future. maxRate caps the flow (0 = uncapped). srcCPU and dstCPU, if
+// non-nil, absorb the virtio datapath (vhost) cost of the corresponding
+// side; the transfer completes when the wire flow and all CPU work are
+// done (they proceed concurrently).
+func (n *NIC) SendTo(dst IP, bytes float64, maxRate float64, srcCPU, dstCPU *sim.PS) (*sim.Future[struct{}], error) {
+	if !n.up {
+		return nil, ErrNICDown
+	}
+	peer, ok := n.seg.Lookup(dst)
+	if !ok || !peer.up {
+		return nil, ErrHostUnreach
+	}
+	net := n.seg.sw.net
+	k := net.k
+	fut := sim.NewFuture[struct{}](k)
+	lat := n.MsgLatency() + peer.extraLatency
+	var path []*Link
+	switch {
+	case peer == n: // loopback stays in memory
+	case n.uplink != nil && n.uplink == peer.uplink:
+		// Two vNICs bridged through the same host NIC: the software
+		// bridge forwards locally without touching the wire.
+		path = []*Link{n.adapter.up, peer.adapter.down}
+	default:
+		srcEff, dstEff := n.adapter, peer.adapter
+		var prefix, suffix []*Link
+		if n.uplink != nil {
+			srcEff = n.uplink.adapter
+			prefix = []*Link{n.adapter.up}
+		}
+		if peer.uplink != nil {
+			dstEff = peer.uplink.adapter
+			suffix = []*Link{peer.adapter.down}
+		}
+		mid, err := Route(srcEff, dstEff)
+		if err != nil {
+			return nil, ErrHostUnreach
+		}
+		path = append(append(prefix, mid...), suffix...)
+	}
+	pendingParts := 1 // the wire flow
+	partDone := func(struct{}) {
+		pendingParts--
+		if pendingParts == 0 {
+			k.Schedule(lat, func() { fut.Set(struct{}{}) })
+		}
+	}
+	if srcCPU != nil && n.CPUCostPerByte > 0 && bytes > 0 {
+		pendingParts++
+		srcCPU.ServeAsync(n.CPUCostPerByte * bytes).OnDone(partDone)
+	}
+	if dstCPU != nil && peer.CPUCostPerByte > 0 && bytes > 0 {
+		pendingParts++
+		dstCPU.ServeAsync(peer.CPUCostPerByte * bytes).OnDone(partDone)
+	}
+	net.StartFlow(path, bytes, maxRate).Done().OnDone(partDone)
+	return fut, nil
+}
+
+// Send is SendTo + blocking wait.
+func (n *NIC) Send(p *sim.Proc, dst IP, bytes float64, maxRate float64, hostCPU *sim.PS) error {
+	fut, err := n.SendTo(dst, bytes, maxRate, hostCPU, hostCPU)
+	if err != nil {
+		return err
+	}
+	fut.Wait(p)
+	return nil
+}

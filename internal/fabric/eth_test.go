@@ -1,0 +1,231 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func newEthTestbed(k *sim.Kernel) (*EthSegment, *NIC, *NIC) {
+	n := NewNetwork(k)
+	sw := n.NewSwitch("ethsw", Ethernet)
+	seg := NewEthSegment(sw)
+	n1 := seg.NewNIC("nic1", 1.25e9) // 10 GbE
+	n2 := seg.NewNIC("nic2", 1.25e9)
+	return seg, n1, n2
+}
+
+func TestNICAddressAssignment(t *testing.T) {
+	k := sim.NewKernel()
+	seg, n1, n2 := newEthTestbed(k)
+	if n1.IP() == n2.IP() {
+		t.Fatal("duplicate IPs")
+	}
+	if got, ok := seg.Lookup(n1.IP()); !ok || got != n1 {
+		t.Fatal("Lookup failed")
+	}
+	if n1.IP().String() != "10.0.0.1" {
+		t.Fatalf("first IP = %s, want 10.0.0.1", n1.IP())
+	}
+}
+
+func TestEthSendBandwidth(t *testing.T) {
+	k := sim.NewKernel()
+	_, n1, n2 := newEthTestbed(k)
+	var dur sim.Time
+	k.Go("s", func(p *sim.Proc) {
+		start := p.Now()
+		if err := n1.Send(p, n2.IP(), 1.25e9, 0, nil); err != nil { // 1 s at 10 GbE
+			t.Errorf("Send: %v", err)
+		}
+		dur = p.Now() - start
+	})
+	k.Run()
+	if !approx(dur, sim.Second, 1e-3) {
+		t.Fatalf("dur = %v, want ~1s", dur)
+	}
+}
+
+func TestEthSendToDownNIC(t *testing.T) {
+	k := sim.NewKernel()
+	_, n1, n2 := newEthTestbed(k)
+	n2.SetUp(false)
+	k.Go("s", func(p *sim.Proc) {
+		if err := n1.Send(p, n2.IP(), 100, 0, nil); err != ErrHostUnreach {
+			t.Errorf("err = %v, want ErrHostUnreach", err)
+		}
+	})
+	k.Run()
+}
+
+func TestEthSendFromDownNIC(t *testing.T) {
+	k := sim.NewKernel()
+	_, n1, n2 := newEthTestbed(k)
+	n1.SetUp(false)
+	k.Go("s", func(p *sim.Proc) {
+		if err := n1.Send(p, n2.IP(), 100, 0, nil); err != ErrNICDown {
+			t.Errorf("err = %v, want ErrNICDown", err)
+		}
+	})
+	k.Run()
+}
+
+func TestEthSendUnknownIP(t *testing.T) {
+	k := sim.NewKernel()
+	_, n1, _ := newEthTestbed(k)
+	k.Go("s", func(p *sim.Proc) {
+		if err := n1.Send(p, IP(0xDEADBEEF), 100, 0, nil); err != ErrHostUnreach {
+			t.Errorf("err = %v, want ErrHostUnreach", err)
+		}
+	})
+	k.Run()
+}
+
+func TestVirtioCPUCostGatesThroughput(t *testing.T) {
+	// Virtio NIC with a CPU cost of 1 core-sec per 1e8 bytes. On a
+	// saturated host CPU (rate 0.5 cores effective), a 1e8-byte transfer
+	// needs 1 core-sec of datapath work → 2 s wall, even though the wire
+	// could do it in ~0.08 s.
+	k := sim.NewKernel()
+	net := NewNetwork(k)
+	sw := net.NewSwitch("ethsw", Ethernet)
+	seg := NewEthSegment(sw)
+	src := seg.NewVirtioNIC("vnic", 1.25e9, 1.0/1e8)
+	dst := seg.NewNIC("nic", 1.25e9)
+	hostCPU := sim.NewPS(k, 1, 1)
+	// A competing compute job keeps the CPU half-shared.
+	k.Go("compute", func(p *sim.Proc) { hostCPU.Serve(p, 10) })
+	var dur sim.Time
+	k.Go("s", func(p *sim.Proc) {
+		start := p.Now()
+		if err := src.Send(p, dst.IP(), 1e8, 0, hostCPU); err != nil {
+			t.Errorf("Send: %v", err)
+		}
+		dur = p.Now() - start
+	})
+	k.Run()
+	if !approx(dur, 2*sim.Second, 0.05) {
+		t.Fatalf("dur = %v, want ~2s (CPU-gated)", dur)
+	}
+}
+
+func TestVirtioLatencyPenalty(t *testing.T) {
+	k := sim.NewKernel()
+	net := NewNetwork(k)
+	sw := net.NewSwitch("ethsw", Ethernet)
+	seg := NewEthSegment(sw)
+	vn := seg.NewVirtioNIC("vnic", 1.25e9, 0)
+	pn := seg.NewNIC("nic", 1.25e9)
+	if vn.MsgLatency() <= pn.MsgLatency() {
+		t.Fatalf("virtio latency %v should exceed physical %v", vn.MsgLatency(), pn.MsgLatency())
+	}
+	if !vn.Virtio() || pn.Virtio() {
+		t.Fatal("Virtio flags wrong")
+	}
+}
+
+func TestEthLinkUpIsImmediate(t *testing.T) {
+	// Table II: Ethernet link-up time is ~0; a NIC is usable as soon as it
+	// is administratively up.
+	k := sim.NewKernel()
+	_, n1, n2 := newEthTestbed(k)
+	n1.SetUp(false)
+	n1.SetUp(true)
+	var done sim.Time = -1
+	k.Go("s", func(p *sim.Proc) {
+		if err := n1.Send(p, n2.IP(), 0, 0, nil); err != nil {
+			t.Errorf("Send: %v", err)
+		}
+		done = p.Now()
+	})
+	k.Run()
+	if done < 0 || done > sim.Millisecond {
+		t.Fatalf("zero-byte send took %v, want ≈ msg latency only", done)
+	}
+}
+
+func TestIPString(t *testing.T) {
+	if IP(0x0A000102).String() != "10.0.1.2" {
+		t.Fatalf("IP string = %s", IP(0x0A000102))
+	}
+}
+
+func TestVirtioUplinkSharesHostNIC(t *testing.T) {
+	// Two VMs on different hosts, each vNIC bridged through its host's
+	// 100 B/s NIC. Two concurrent transfers from the same host must share
+	// the host uplink: 1000 bytes each → 20 s, not 10 s.
+	k := sim.NewKernel()
+	net := NewNetwork(k)
+	sw := net.NewSwitch("ethsw", Ethernet)
+	seg := NewEthSegment(sw)
+	hostA := seg.NewNIC("hostA", 100)
+	hostB := seg.NewNIC("hostB", 100)
+	v1 := seg.NewVirtioNIC("v1", 1e9, 0)
+	v2 := seg.NewVirtioNIC("v2", 1e9, 0)
+	dst := seg.NewVirtioNIC("dst", 1e9, 0)
+	v1.SetUplink(hostA)
+	v2.SetUplink(hostA)
+	dst.SetUplink(hostB)
+	var d1, d2 sim.Time
+	k.Go("t1", func(p *sim.Proc) {
+		v1.Send(p, dst.IP(), 1000, 0, nil)
+		d1 = p.Now()
+	})
+	k.Go("t2", func(p *sim.Proc) {
+		v2.Send(p, dst.IP(), 1000, 0, nil)
+		d2 = p.Now()
+	})
+	k.Run()
+	if !approx(d1, 20*sim.Second, 0.01) || !approx(d2, 20*sim.Second, 0.01) {
+		t.Fatalf("d1=%v d2=%v, want ~20s (shared host uplink)", d1, d2)
+	}
+}
+
+func TestVirtioSameHostBridgeLocal(t *testing.T) {
+	// Two vNICs on one host: traffic is bridged locally and must not be
+	// limited by the host's slow physical NIC.
+	k := sim.NewKernel()
+	net := NewNetwork(k)
+	sw := net.NewSwitch("ethsw", Ethernet)
+	seg := NewEthSegment(sw)
+	host := seg.NewNIC("host", 10) // 10 B/s: would take 100 s
+	v1 := seg.NewVirtioNIC("v1", 1000, 0)
+	v2 := seg.NewVirtioNIC("v2", 1000, 0)
+	v1.SetUplink(host)
+	v2.SetUplink(host)
+	var d sim.Time
+	k.Go("t", func(p *sim.Proc) {
+		v1.Send(p, v2.IP(), 1000, 0, nil)
+		d = p.Now()
+	})
+	k.Run()
+	if !approx(d, sim.Second, 0.01) {
+		t.Fatalf("same-host transfer took %v, want ~1s (local bridge)", d)
+	}
+}
+
+func TestUplinkRepointing(t *testing.T) {
+	// After "migration", the vNIC bridges through a different host NIC.
+	k := sim.NewKernel()
+	net := NewNetwork(k)
+	sw := net.NewSwitch("ethsw", Ethernet)
+	seg := NewEthSegment(sw)
+	slow := seg.NewNIC("slow", 10)
+	fast := seg.NewNIC("fast", 1000)
+	peer := seg.NewNIC("peer", 1000)
+	v := seg.NewVirtioNIC("v", 1e6, 0)
+	v.SetUplink(slow)
+	if v.Uplink() != slow {
+		t.Fatal("uplink not set")
+	}
+	v.SetUplink(fast)
+	var d sim.Time
+	k.Go("t", func(p *sim.Proc) {
+		v.Send(p, peer.IP(), 1000, 0, nil)
+		d = p.Now()
+	})
+	k.Run()
+	if !approx(d, sim.Second, 0.01) {
+		t.Fatalf("transfer took %v, want ~1s via fast uplink", d)
+	}
+}

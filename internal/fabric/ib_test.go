@@ -1,0 +1,227 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func newIBTestbed(k *sim.Kernel) (*IBSubnet, *HCA, *HCA) {
+	n := NewNetwork(k)
+	sw := n.NewSwitch("ibsw", InfiniBand)
+	sub := NewIBSubnet(sw)
+	h1 := sub.NewHCA("hca1", 4e9)
+	h2 := sub.NewHCA("hca2", 4e9)
+	return sub, h1, h2
+}
+
+func TestHCALinkTraining(t *testing.T) {
+	k := sim.NewKernel()
+	_, h, _ := newIBTestbed(k)
+	if h.State() != PortDown {
+		t.Fatalf("initial state = %v, want Down", h.State())
+	}
+	h.PowerOn()
+	if h.State() != PortPolling {
+		t.Fatalf("state after PowerOn = %v, want Polling", h.State())
+	}
+	var activeAt sim.Time
+	k.Go("w", func(p *sim.Proc) {
+		if err := h.WaitActive(p); err != nil {
+			t.Errorf("WaitActive: %v", err)
+		}
+		activeAt = p.Now()
+	})
+	k.Run()
+	if h.State() != PortActive {
+		t.Fatalf("state = %v, want Active", h.State())
+	}
+	if activeAt != DefaultIBTrainingTime {
+		t.Fatalf("activeAt = %v, want %v", activeAt, DefaultIBTrainingTime)
+	}
+}
+
+func TestWaitActiveOnDownPortErrors(t *testing.T) {
+	k := sim.NewKernel()
+	_, h, _ := newIBTestbed(k)
+	k.Go("w", func(p *sim.Proc) {
+		if err := h.WaitActive(p); err != ErrPortNotActive {
+			t.Errorf("err = %v, want ErrPortNotActive", err)
+		}
+	})
+	k.Run()
+}
+
+func TestLIDChangesAcrossPowerCycle(t *testing.T) {
+	k := sim.NewKernel()
+	_, h, _ := newIBTestbed(k)
+	h.PowerOn()
+	k.Run()
+	lid1 := h.LID()
+	h.PowerOff()
+	if h.State() != PortDown || h.LID() != 0 {
+		t.Fatalf("after PowerOff: state=%v lid=%v", h.State(), h.LID())
+	}
+	h.PowerOn()
+	k.Run()
+	lid2 := h.LID()
+	if lid1 == lid2 {
+		t.Fatalf("LID stable across power cycle (%v): paper relies on LIDs changing", lid1)
+	}
+}
+
+func TestPowerOffDuringTrainingCancels(t *testing.T) {
+	k := sim.NewKernel()
+	_, h, _ := newIBTestbed(k)
+	h.PowerOn()
+	k.Schedule(sim.Second, func() { h.PowerOff() })
+	k.Run()
+	if h.State() != PortDown {
+		t.Fatalf("state = %v, want Down", h.State())
+	}
+}
+
+func TestDoublePowerOnPanics(t *testing.T) {
+	k := sim.NewKernel()
+	_, h, _ := newIBTestbed(k)
+	h.PowerOn()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.PowerOn()
+}
+
+func TestQPSendBetweenHCAs(t *testing.T) {
+	k := sim.NewKernel()
+	_, h1, h2 := newIBTestbed(k)
+	h1.PowerOn()
+	h2.PowerOn()
+	var done sim.Time
+	k.Go("sender", func(p *sim.Proc) {
+		h1.WaitActive(p)
+		h2.WaitActive(p)
+		qp1, err := h1.CreateQP()
+		if err != nil {
+			t.Errorf("CreateQP: %v", err)
+			return
+		}
+		qp2, err := h2.CreateQP()
+		if err != nil {
+			t.Errorf("CreateQP: %v", err)
+			return
+		}
+		if err := qp1.Connect(h2.LID(), qp2.QPN()); err != nil {
+			t.Errorf("Connect: %v", err)
+			return
+		}
+		start := p.Now()
+		if err := qp1.Send(p, 4e9); err != nil { // 4 GB at 4 GB/s ≈ 1 s
+			t.Errorf("Send: %v", err)
+			return
+		}
+		done = p.Now() - start
+	})
+	k.Run()
+	if !approx(done, sim.Second, 1e-3) {
+		t.Fatalf("transfer took %v, want ~1s", done)
+	}
+}
+
+func TestQPOnInactivePort(t *testing.T) {
+	k := sim.NewKernel()
+	_, h, _ := newIBTestbed(k)
+	if _, err := h.CreateQP(); err != ErrPortNotActive {
+		t.Fatalf("CreateQP on down port: err = %v, want ErrPortNotActive", err)
+	}
+}
+
+func TestQPDestroyedByPowerOff(t *testing.T) {
+	k := sim.NewKernel()
+	_, h1, h2 := newIBTestbed(k)
+	h1.PowerOn()
+	h2.PowerOn()
+	k.Run()
+	qp1, _ := h1.CreateQP()
+	qp2, _ := h2.CreateQP()
+	if err := qp1.Connect(h2.LID(), qp2.QPN()); err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	h1.PowerOff()
+	if _, err := qp1.PostSend(100); err != ErrQPDestroyed {
+		t.Fatalf("PostSend after PowerOff: err = %v, want ErrQPDestroyed", err)
+	}
+	if qp1.Connected() {
+		t.Fatal("QP still connected after PowerOff")
+	}
+}
+
+func TestStaleLIDDetected(t *testing.T) {
+	// Peer power-cycles: its old LID must become unroutable, so a QP still
+	// holding it fails with ErrStaleLID. This is the state the paper's BTL
+	// reconstruction recovers from.
+	k := sim.NewKernel()
+	_, h1, h2 := newIBTestbed(k)
+	h1.PowerOn()
+	h2.PowerOn()
+	k.Run()
+	qp1, _ := h1.CreateQP()
+	qp2, _ := h2.CreateQP()
+	if err := qp1.Connect(h2.LID(), qp2.QPN()); err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	h2.PowerOff()
+	h2.PowerOn()
+	k.Run()
+	if _, err := qp1.PostSend(100); err != ErrStaleLID {
+		t.Fatalf("PostSend to re-trained peer: err = %v, want ErrStaleLID", err)
+	}
+}
+
+func TestConnectToUnknownLID(t *testing.T) {
+	k := sim.NewKernel()
+	_, h1, _ := newIBTestbed(k)
+	h1.PowerOn()
+	k.Run()
+	qp, _ := h1.CreateQP()
+	if err := qp.Connect(LID(9999), 1); err != ErrStaleLID {
+		t.Fatalf("err = %v, want ErrStaleLID", err)
+	}
+}
+
+func TestUnconnectedQPSendFails(t *testing.T) {
+	k := sim.NewKernel()
+	_, h1, _ := newIBTestbed(k)
+	h1.PowerOn()
+	k.Run()
+	qp, _ := h1.CreateQP()
+	if _, err := qp.PostSend(1); err != ErrQPNotConnected {
+		t.Fatalf("err = %v, want ErrQPNotConnected", err)
+	}
+}
+
+func TestQPNsUniqueAndFreshAfterCycle(t *testing.T) {
+	k := sim.NewKernel()
+	_, h, _ := newIBTestbed(k)
+	h.PowerOn()
+	k.Run()
+	qpA, _ := h.CreateQP()
+	qpB, _ := h.CreateQP()
+	if qpA.QPN() == qpB.QPN() {
+		t.Fatal("duplicate QPNs")
+	}
+	h.PowerOff()
+	h.PowerOn()
+	k.Run()
+	qpC, _ := h.CreateQP()
+	if qpC.QPN() == qpA.QPN() || qpC.QPN() == qpB.QPN() {
+		t.Fatal("QPN reused across power cycle")
+	}
+}
+
+func TestPortStateString(t *testing.T) {
+	if PortDown.String() != "Down" || PortPolling.String() != "Polling" || PortActive.String() != "Active" {
+		t.Fatal("PortState.String broken")
+	}
+}

@@ -1,0 +1,285 @@
+// Package fabric models cluster interconnects at flow level: links with
+// bandwidth and latency, max-min fair sharing among concurrent flows, and
+// technology-specific device models (InfiniBand HCAs with a link-training
+// state machine, Ethernet NICs, para-virtualized virtio-net).
+package fabric
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Link is a unidirectional pipe with a bandwidth capacity and a propagation
+// latency contribution. Bidirectional adapters are modelled as an up-link /
+// down-link pair.
+type Link struct {
+	Name      string
+	Bandwidth float64  // bytes per second
+	Latency   sim.Time // one-way propagation + serialization setup cost
+	net       *Network
+	flows     map[*Flow]struct{}
+}
+
+// Flow is an in-progress transfer across a path of links. Its rate is
+// recomputed by the network whenever the set of active flows changes.
+type Flow struct {
+	path      []*Link
+	remaining float64
+	rate      float64
+	maxRate   float64 // 0 = uncapped
+	done      *sim.Future[struct{}]
+	cancelled bool
+}
+
+// Done returns the future resolved when the flow finishes.
+func (f *Flow) Done() *sim.Future[struct{}] { return f.done }
+
+// Remaining returns the bytes left to transfer (as of the last network
+// recomputation; call Network.Sync for an up-to-date value).
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Rate returns the flow's current max-min fair rate in bytes per second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Network performs max-min fair bandwidth allocation across all active
+// flows. All links of a simulated deployment belong to one Network.
+type Network struct {
+	k          *sim.Kernel
+	links      []*Link
+	trunks     []*Trunk
+	flows      map[*Flow]struct{}
+	lastUpdate sim.Time
+	pending    *sim.Event
+}
+
+// NewNetwork returns an empty network bound to k.
+func NewNetwork(k *sim.Kernel) *Network {
+	return &Network{k: k, flows: make(map[*Flow]struct{})}
+}
+
+// Kernel returns the simulation kernel the network runs on.
+func (n *Network) Kernel() *sim.Kernel { return n.k }
+
+// NewLink creates a link with the given capacity (bytes/sec) and latency.
+func (n *Network) NewLink(name string, bandwidth float64, latency sim.Time) *Link {
+	if bandwidth <= 0 {
+		panic(fmt.Sprintf("fabric: link %q with non-positive bandwidth", name))
+	}
+	l := &Link{Name: name, Bandwidth: bandwidth, Latency: latency, net: n, flows: make(map[*Flow]struct{})}
+	n.links = append(n.links, l)
+	return l
+}
+
+// PathLatency returns the summed latency of the path.
+func PathLatency(path []*Link) sim.Time {
+	var t sim.Time
+	for _, l := range path {
+		t += l.Latency
+	}
+	return t
+}
+
+// StartFlow begins a transfer of the given number of bytes along path.
+// The path's summed latency elapses first (propagation), then the payload
+// is served at the flow's max-min fair rate. maxRate caps the flow's rate
+// (0 = uncapped). The returned flow's Done future resolves on completion.
+//
+// A zero-byte flow completes after just the path latency. An empty path is
+// an intra-memory transfer and completes immediately.
+func (n *Network) StartFlow(path []*Link, bytes float64, maxRate float64) *Flow {
+	for _, l := range path {
+		if l.net != n {
+			panic("fabric: StartFlow with link from another network")
+		}
+	}
+	f := &Flow{
+		path:      path,
+		remaining: bytes,
+		maxRate:   maxRate,
+		done:      sim.NewFuture[struct{}](n.k),
+	}
+	lat := PathLatency(path)
+	if bytes <= 0 || len(path) == 0 {
+		n.k.Schedule(lat, func() { f.done.Set(struct{}{}) })
+		return f
+	}
+	n.k.Schedule(lat, func() {
+		if f.cancelled {
+			return
+		}
+		n.sync()
+		n.flows[f] = struct{}{}
+		for _, l := range f.path {
+			l.flows[f] = struct{}{}
+		}
+		n.replan()
+	})
+	return f
+}
+
+// Transfer runs a flow and blocks the calling process until it completes.
+func (n *Network) Transfer(p *sim.Proc, path []*Link, bytes float64, maxRate float64) {
+	n.StartFlow(path, bytes, maxRate).Done().Wait(p)
+}
+
+// Cancel aborts a flow; its Done future never resolves. Safe to call on a
+// finished flow (no-op).
+func (n *Network) Cancel(f *Flow) {
+	if f.done.Done() || f.cancelled {
+		return
+	}
+	f.cancelled = true
+	if _, active := n.flows[f]; active {
+		n.sync()
+		n.removeFlow(f)
+		n.replan()
+	}
+}
+
+// Sync advances flow accounting to the current simulated time, so that
+// Remaining() values are current.
+func (n *Network) Sync() { n.sync() }
+
+// ActiveFlows returns the number of flows currently in their bandwidth phase.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+func (n *Network) removeFlow(f *Flow) {
+	delete(n.flows, f)
+	for _, l := range f.path {
+		delete(l.flows, f)
+	}
+}
+
+// sync advances every flow's remaining bytes at its current rate.
+func (n *Network) sync() {
+	now := n.k.Now()
+	if now == n.lastUpdate {
+		return
+	}
+	elapsed := (now - n.lastUpdate).Seconds()
+	for f := range n.flows {
+		f.remaining -= f.rate * elapsed
+	}
+	n.lastUpdate = now
+}
+
+const flowEpsilon = 1e-6
+
+// replan completes finished flows, recomputes max-min fair rates and
+// schedules the next completion event.
+func (n *Network) replan() {
+	var finished []*Flow
+	for f := range n.flows {
+		if f.remaining <= flowEpsilon {
+			finished = append(finished, f)
+		}
+	}
+	for _, f := range finished {
+		n.removeFlow(f)
+		f.done.Set(struct{}{})
+	}
+	if n.pending != nil {
+		n.pending.Cancel()
+		n.pending = nil
+	}
+	if len(n.flows) == 0 {
+		return
+	}
+	n.computeRates()
+	next := sim.MaxTime
+	for f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		// +1ns guards against float rounding short; saturate, don't wrap.
+		dt := sim.FromSeconds(f.remaining / f.rate).SaturatingAdd(1)
+		if dt < next {
+			next = dt
+		}
+	}
+	if next == sim.MaxTime {
+		return // all flows stalled or absurdly slow; nothing to schedule
+	}
+	n.pending = n.k.Schedule(next, func() {
+		n.pending = nil
+		n.sync()
+		n.replan()
+	})
+}
+
+// computeRates performs max-min fair allocation with per-flow caps
+// (progressive filling / waterfilling).
+func (n *Network) computeRates() {
+	unassigned := make(map[*Flow]struct{}, len(n.flows))
+	for f := range n.flows {
+		f.rate = 0
+		unassigned[f] = struct{}{}
+	}
+	remCap := make(map[*Link]float64)
+	cnt := make(map[*Link]int)
+	for _, l := range n.links {
+		if len(l.flows) == 0 {
+			continue
+		}
+		remCap[l] = l.Bandwidth
+		cnt[l] = len(l.flows)
+	}
+	for len(unassigned) > 0 {
+		// Fair share if we saturated the tightest link now.
+		share := math.Inf(1)
+		for l, c := range cnt {
+			if c > 0 {
+				if s := remCap[l] / float64(c); s < share {
+					share = s
+				}
+			}
+		}
+		// Flows capped below the share settle first at their cap.
+		progressed := false
+		for f := range unassigned {
+			if f.maxRate > 0 && f.maxRate <= share {
+				f.rate = f.maxRate
+				for _, l := range f.path {
+					remCap[l] -= f.maxRate
+					cnt[l]--
+				}
+				delete(unassigned, f)
+				progressed = true
+			}
+		}
+		if progressed {
+			continue
+		}
+		if math.IsInf(share, 1) {
+			// No constraining link (shouldn't happen: every flow has links).
+			for f := range unassigned {
+				f.rate = f.maxRate
+				delete(unassigned, f)
+			}
+			return
+		}
+		// Saturate the bottleneck link(s): fix every unassigned flow that
+		// crosses a link whose fair share equals the minimum.
+		const tol = 1e-9
+		for l, c := range cnt {
+			if c <= 0 {
+				continue
+			}
+			if remCap[l]/float64(c) <= share*(1+tol) {
+				for f := range l.flows {
+					if _, ok := unassigned[f]; !ok {
+						continue
+					}
+					f.rate = share
+					for _, pl := range f.path {
+						remCap[pl] -= share
+						cnt[pl]--
+					}
+					delete(unassigned, f)
+				}
+			}
+		}
+	}
+}

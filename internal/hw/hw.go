@@ -1,0 +1,171 @@
+// Package hw models the physical substrate: compute nodes with cores and
+// memory, clusters wired to interconnect switches, and the AIST Green
+// Cloud (AGC) testbed configuration from Table I of the paper.
+package hw
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// GB is one gibibyte in bytes, the unit the paper reports memory in.
+const GB = float64(1 << 30)
+
+// Node is one physical compute node.
+type Node struct {
+	Name  string
+	Cores int
+	// MemoryBytes is installed RAM.
+	MemoryBytes float64
+	// CPU is the node's processor-sharing compute resource: capacity =
+	// Cores, per-job cap = 1 core. vCPUs, vhost threads and the QEMU
+	// migration thread all contend here.
+	CPU *sim.PS
+	// HCA is the node's InfiniBand adapter (nil on Ethernet-only nodes).
+	HCA *fabric.HCA
+	// NIC is the node's physical 10 GbE adapter, used for TCP traffic and
+	// as the live-migration transport.
+	NIC *fabric.NIC
+
+	memUsed float64
+}
+
+// AllocMemory reserves bytes of host RAM for a VM; it returns an error if
+// the node would be oversubscribed.
+func (n *Node) AllocMemory(bytes float64) error {
+	if n.memUsed+bytes > n.MemoryBytes {
+		return fmt.Errorf("hw: node %s out of memory (%0.f used + %0.f requested > %0.f)",
+			n.Name, n.memUsed, bytes, n.MemoryBytes)
+	}
+	n.memUsed += bytes
+	return nil
+}
+
+// FreeMemory releases a VM's reservation.
+func (n *Node) FreeMemory(bytes float64) {
+	n.memUsed -= bytes
+	if n.memUsed < 0 {
+		panic("hw: FreeMemory below zero")
+	}
+}
+
+// MemoryUsed returns the currently reserved host RAM.
+func (n *Node) MemoryUsed() float64 { return n.memUsed }
+
+// HasInfiniBand reports whether the node has an IB HCA installed.
+func (n *Node) HasInfiniBand() bool { return n.HCA != nil }
+
+// Cluster is a set of nodes that share switches.
+type Cluster struct {
+	Name  string
+	Nodes []*Node
+}
+
+// NodeSpec describes the per-node hardware of a cluster.
+type NodeSpec struct {
+	Cores       int
+	MemoryBytes float64
+	// IBBandwidth, if > 0, installs an IB HCA with this bandwidth (B/s).
+	IBBandwidth float64
+	// EthBandwidth is the physical NIC bandwidth (B/s); required.
+	EthBandwidth float64
+}
+
+// AGCNodeSpec is the paper's Table I node: Dell PowerEdge M610, 2× quad-core
+// Xeon E5540 (8 cores, HT off), 48 GB DDR3, Mellanox ConnectX QDR IB
+// (≈3.2 GB/s effective), Broadcom NetXtreme II 10 GbE (1.25 GB/s).
+var AGCNodeSpec = NodeSpec{
+	Cores:        8,
+	MemoryBytes:  48 * GB,
+	IBBandwidth:  3.2e9,
+	EthBandwidth: 1.25e9,
+}
+
+// Testbed is a full deployment: one network, the switches and the clusters.
+// The paper's experiment splits a 16-node enclosure into an 8-node
+// "InfiniBand cluster" and an 8-node "Ethernet cluster" (§IV-A).
+type Testbed struct {
+	K       *sim.Kernel
+	Network *fabric.Network
+	// IBSwitch/EthSwitch mirror Table I's Mellanox M3601Q and Dell M8024.
+	IBSwitch  *fabric.Switch
+	EthSwitch *fabric.Switch
+	Subnet    *fabric.IBSubnet
+	Segment   *fabric.EthSegment
+	Clusters  []*Cluster
+	nodeSeq   int
+}
+
+// NewTestbed creates an empty testbed with one IB switch and one Ethernet
+// switch on a shared network.
+func NewTestbed(k *sim.Kernel) *Testbed {
+	n := fabric.NewNetwork(k)
+	ibsw := n.NewSwitch("Mellanox-M3601Q", fabric.InfiniBand)
+	ethsw := n.NewSwitch("Dell-M8024", fabric.Ethernet)
+	return &Testbed{
+		K:         k,
+		Network:   n,
+		IBSwitch:  ibsw,
+		EthSwitch: ethsw,
+		Subnet:    fabric.NewIBSubnet(ibsw),
+		Segment:   fabric.NewEthSegment(ethsw),
+	}
+}
+
+// AddCluster creates a cluster of n nodes built to spec. Every node gets a
+// physical 10 GbE NIC; nodes get an IB HCA only if spec.IBBandwidth > 0.
+// Installed HCAs are powered on (the host keeps links trained; the 30 s
+// training cost is paid when a port is re-attached to a *guest*).
+func (t *Testbed) AddCluster(name string, n int, spec NodeSpec) *Cluster {
+	c := &Cluster{Name: name}
+	for i := 0; i < n; i++ {
+		nodeName := fmt.Sprintf("%s-n%02d", name, i)
+		node := &Node{
+			Name:        nodeName,
+			Cores:       spec.Cores,
+			MemoryBytes: spec.MemoryBytes,
+			CPU:         sim.NewPS(t.K, float64(spec.Cores), 1),
+			NIC:         t.Segment.NewNIC(nodeName+"/eth0", spec.EthBandwidth),
+		}
+		if spec.IBBandwidth > 0 {
+			node.HCA = t.Subnet.NewHCA(nodeName+"/ib0", spec.IBBandwidth)
+			node.HCA.PowerOn()
+		}
+		c.Nodes = append(c.Nodes, node)
+		t.nodeSeq++
+	}
+	t.Clusters = append(t.Clusters, c)
+	return c
+}
+
+// NewAGC builds the paper's evaluation testbed: an 8-node InfiniBand
+// cluster and an 8-node Ethernet cluster (Table I hardware). Run the
+// kernel briefly (or start work after t=0) to let host HCA links train.
+func NewAGC(k *sim.Kernel) (*Testbed, *Cluster, *Cluster) {
+	t := NewTestbed(k)
+	ib := t.AddCluster("agc-ib", 8, AGCNodeSpec)
+	ethSpec := AGCNodeSpec
+	ethSpec.IBBandwidth = 0
+	eth := t.AddCluster("agc-eth", 8, ethSpec)
+	return t, ib, eth
+}
+
+// SpecRow is one row of the Table I hardware inventory.
+type SpecRow struct{ Item, Value string }
+
+// AGCSpecTable returns Table I of the paper as structured rows.
+func AGCSpecTable() []SpecRow {
+	return []SpecRow{
+		{"Node PC", "Dell PowerEdge M610"},
+		{"CPU", "Quad-core Intel Xeon E5540/2.53GHz x2"},
+		{"Chipset", "Intel 5520"},
+		{"Memory", "48 GB DDR3-1066"},
+		{"Infiniband", "Mellanox ConnectX (MT26428)"},
+		{"10 GbE", "Broadcom NetXtreme II (BMC57711)"},
+		{"Disk", "SAS 300 GB hardware RAID-1 array"},
+		{"Switch Infiniband", "Mellanox M3601Q"},
+		{"Switch 10 GbE", "Dell M8024"},
+	}
+}

@@ -1,0 +1,120 @@
+package hw
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+func TestMemoryAccounting(t *testing.T) {
+	n := &Node{Name: "n", MemoryBytes: 48 * GB}
+	if err := n.AllocMemory(20 * GB); err != nil {
+		t.Fatalf("first alloc: %v", err)
+	}
+	if err := n.AllocMemory(20 * GB); err != nil {
+		t.Fatalf("second alloc: %v", err)
+	}
+	if err := n.AllocMemory(20 * GB); err == nil {
+		t.Fatal("third alloc should overflow 48 GB")
+	}
+	n.FreeMemory(20 * GB)
+	if err := n.AllocMemory(20 * GB); err != nil {
+		t.Fatalf("alloc after free: %v", err)
+	}
+	if n.MemoryUsed() != 40*GB {
+		t.Fatalf("MemoryUsed = %v", n.MemoryUsed())
+	}
+}
+
+func TestFreeBelowZeroPanics(t *testing.T) {
+	n := &Node{Name: "n", MemoryBytes: GB}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.FreeMemory(1)
+}
+
+func TestNewAGCShape(t *testing.T) {
+	k := sim.NewKernel()
+	tb, ib, eth := NewAGC(k)
+	if len(ib.Nodes) != 8 || len(eth.Nodes) != 8 {
+		t.Fatalf("cluster sizes = %d/%d, want 8/8", len(ib.Nodes), len(eth.Nodes))
+	}
+	for _, n := range ib.Nodes {
+		if !n.HasInfiniBand() {
+			t.Fatalf("IB node %s lacks an HCA", n.Name)
+		}
+		if n.NIC == nil {
+			t.Fatalf("node %s lacks a 10GbE NIC", n.Name)
+		}
+		if n.Cores != 8 || n.MemoryBytes != 48*GB {
+			t.Fatalf("node %s spec wrong: %d cores %v mem", n.Name, n.Cores, n.MemoryBytes)
+		}
+	}
+	for _, n := range eth.Nodes {
+		if n.HasInfiniBand() {
+			t.Fatalf("Ethernet node %s has an HCA", n.Name)
+		}
+	}
+	if tb.IBSwitch.Tech != fabric.InfiniBand || tb.EthSwitch.Tech != fabric.Ethernet {
+		t.Fatal("switch technologies wrong")
+	}
+}
+
+func TestHostHCAsTrainAtBoot(t *testing.T) {
+	k := sim.NewKernel()
+	_, ib, _ := NewAGC(k)
+	k.Run() // let training complete
+	for _, n := range ib.Nodes {
+		if n.HCA.State() != fabric.PortActive {
+			t.Fatalf("node %s HCA state = %v after boot", n.Name, n.HCA.State())
+		}
+	}
+}
+
+func TestAllNodesOnSharedSegments(t *testing.T) {
+	k := sim.NewKernel()
+	_, ib, eth := NewAGC(k)
+	// Any two nodes' NICs must be mutually reachable (one enclosure).
+	a := ib.Nodes[0].NIC.Adapter()
+	b := eth.Nodes[7].NIC.Adapter()
+	if !fabric.Reachable(a, b) {
+		t.Fatal("Ethernet NICs not on one segment")
+	}
+	// IB HCAs share the IB switch.
+	if !fabric.Reachable(ib.Nodes[0].HCA.Adapter(), ib.Nodes[7].HCA.Adapter()) {
+		t.Fatal("IB HCAs not on one switch")
+	}
+}
+
+func TestAGCSpecTable(t *testing.T) {
+	rows := AGCSpecTable()
+	if len(rows) != 9 {
+		t.Fatalf("Table I rows = %d, want 9", len(rows))
+	}
+	if rows[0].Item != "Node PC" || rows[0].Value != "Dell PowerEdge M610" {
+		t.Fatalf("unexpected first row %+v", rows[0])
+	}
+}
+
+func TestNodeCPUContention(t *testing.T) {
+	// 16 one-core jobs on an 8-core node take twice as long as 8 jobs.
+	k := sim.NewKernel()
+	tb := NewTestbed(k)
+	c := tb.AddCluster("c", 1, AGCNodeSpec)
+	node := c.Nodes[0]
+	var last sim.Time
+	for i := 0; i < 16; i++ {
+		k.Go("j", func(p *sim.Proc) {
+			node.CPU.Serve(p, 10)
+			last = p.Now()
+		})
+	}
+	k.Run()
+	if last < 19*sim.Second || last > 21*sim.Second {
+		t.Fatalf("16 jobs on 8 cores finished at %v, want ~20s", last)
+	}
+}

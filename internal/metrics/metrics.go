@@ -1,0 +1,134 @@
+// Package metrics provides small result-table and time-series containers
+// with paper-style text rendering, shared by the experiment harness, the
+// CLI tools and the benchmarks.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Table is a simple column-aligned results table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case sim.Time:
+			row[i] = fmt.Sprintf("%.2f", v.Seconds())
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Series is a labelled time series (e.g. per-iteration elapsed times).
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Point is one sample.
+type Point struct {
+	X int
+	Y sim.Time
+}
+
+// Add appends a sample.
+func (s *Series) Add(x int, y sim.Time) { s.Points = append(s.Points, Point{x, y}) }
+
+// Max returns the largest Y (zero for an empty series).
+func (s *Series) Max() sim.Time {
+	var m sim.Time
+	for _, p := range s.Points {
+		if p.Y > m {
+			m = p.Y
+		}
+	}
+	return m
+}
+
+// String renders "x y-seconds" lines.
+func (s *Series) String() string {
+	var b strings.Builder
+	if s.Label != "" {
+		fmt.Fprintf(&b, "# %s\n", s.Label)
+	}
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%4d  %8.2f\n", p.X, p.Y.Seconds())
+	}
+	return b.String()
+}
+
+// Bars renders the series as a text bar chart with the given max width.
+func (s *Series) Bars(width int) string {
+	var b strings.Builder
+	if s.Label != "" {
+		fmt.Fprintf(&b, "# %s\n", s.Label)
+	}
+	max := s.Max()
+	if max == 0 {
+		max = 1
+	}
+	for _, p := range s.Points {
+		n := int(float64(width) * float64(p.Y) / float64(max))
+		fmt.Fprintf(&b, "%4d %8.2fs |%s\n", p.X, p.Y.Seconds(), strings.Repeat("█", n))
+	}
+	return b.String()
+}

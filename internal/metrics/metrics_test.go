@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("T", "name", "seconds")
+	tab.AddRow("alpha", 3*sim.Second)
+	tab.AddRow("beta", 1.5)
+	tab.AddRow("gamma", 42)
+	out := tab.String()
+	for _, want := range []string{"T\n", "name", "seconds", "alpha", "3.00", "beta", "1.50", "gamma", "42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title + header + rule + 3 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableColumnAlignment(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("looooooong", "x")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines[0]) < len("looooooong") {
+		t.Fatalf("header row not padded to column width: %q", lines[0])
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := Series{Label: "iters"}
+	s.Add(1, 2*sim.Second)
+	s.Add(2, 5*sim.Second)
+	if s.Max() != 5*sim.Second {
+		t.Fatalf("Max = %v", s.Max())
+	}
+	out := s.String()
+	if !strings.Contains(out, "# iters") || !strings.Contains(out, "5.00") {
+		t.Fatalf("series render:\n%s", out)
+	}
+	bars := s.Bars(10)
+	if !strings.Contains(bars, "██████████") {
+		t.Fatalf("max bar not full width:\n%s", bars)
+	}
+}
+
+func TestEmptySeriesMax(t *testing.T) {
+	var s Series
+	if s.Max() != 0 {
+		t.Fatal("empty series Max should be 0")
+	}
+	if s.Bars(10) == "" {
+		// Bars on an empty series should still render (just no rows).
+	}
+}

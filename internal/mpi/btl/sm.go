@@ -1,0 +1,59 @@
+package btl
+
+import (
+	"repro/internal/sim"
+)
+
+// SM is the shared-memory BTL for ranks inside the same guest: a memcpy
+// through a shared segment, charged as CPU work on the host (both ranks'
+// vCPUs live there). Highest exclusivity — co-located ranks never touch
+// the wire, before or after a migration.
+type SM struct {
+	local    Endpoint
+	released bool
+	// CopyBandwidth is the per-pair memcpy throughput (bytes per
+	// core-second); one core of the paper's Nehalem streams ≈3 GB/s.
+	CopyBandwidth float64
+	// Latency is the per-message queue-pair-in-shm handoff cost.
+	Latency sim.Time
+}
+
+// NewSM builds the sm BTL for an endpoint.
+func NewSM(local Endpoint) *SM {
+	return &SM{local: local, CopyBandwidth: 3e9, Latency: 1 * sim.Microsecond}
+}
+
+// Name implements Module.
+func (m *SM) Name() string { return "sm" }
+
+// Exclusivity implements Module.
+func (m *SM) Exclusivity() int { return ExclusivitySM }
+
+// Usable implements Module (shared memory always exists).
+func (m *SM) Usable() bool { return !m.released }
+
+// Reachable implements Module: both ranks must live in the same guest.
+func (m *SM) Reachable(peer Endpoint) bool {
+	return m.local.VM() == peer.VM()
+}
+
+// Transfer implements Module: a memcpy on the host CPU.
+func (m *SM) Transfer(p *sim.Proc, peer Endpoint, bytes float64) error {
+	if m.released {
+		return ErrReleased
+	}
+	if !m.Reachable(peer) {
+		return ErrUnreachable
+	}
+	p.Sleep(m.Latency)
+	if bytes > 0 {
+		m.local.VM().HostCPU().Serve(p, bytes/m.CopyBandwidth)
+	}
+	return nil
+}
+
+// Release implements Module.
+func (m *SM) Release() { m.released = true }
+
+// Reinit implements Module.
+func (m *SM) Reinit() { m.released = false }

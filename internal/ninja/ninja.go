@@ -1,0 +1,304 @@
+// Package ninja implements the paper's primary contribution: an
+// interconnect-transparent migration that simultaneously moves multiple
+// co-located VMs between data centers with different interconnects, by
+// cooperation between the VMM (via SymVirt) and the Open MPI runtime on
+// the guest (via the CRCP/CRS checkpoint framework). MPI processes keep
+// running across the move; only the transport underneath them changes.
+package ninja
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/crs"
+	"repro/internal/hw"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/symvirt"
+	"repro/internal/vmm"
+)
+
+// DeviceTag is the passthrough-device tag Ninja scripts operate on
+// (the 'vf0' of Fig. 5).
+const DeviceTag = "vf0"
+
+// DefaultHostPCIID is the host PCI address of the HCA on the paper's
+// nodes, provided by the cloud scheduler.
+const DefaultHostPCIID = "04:00.0"
+
+// Report is one Ninja migration's overhead breakdown — the categories of
+// Figs. 4, 6 and 7: coordination, hotplug (detach + attach + confirm),
+// migration, and link-up.
+type Report struct {
+	// Coordination is the CRCP quiesce span: from the trigger until every
+	// VM's processes are parked in SymVirt wait.
+	Coordination sim.Time
+	// Detach is the device_del fan-out span.
+	Detach sim.Time
+	// Migration is the parallel live-migration span.
+	Migration sim.Time
+	// Attach is the device_add fan-out span.
+	Attach sim.Time
+	// Linkup is the span from the final signal until the MPI job resumed
+	// (dominated by InfiniBand port training when the destination has an
+	// HCA; ≈0 on Ethernet destinations).
+	Linkup sim.Time
+	// Total is trigger-to-resume.
+	Total sim.Time
+	// VMStats are the per-VM live-migration statistics (live mode).
+	VMStats []vmm.MigrationStats
+	// ColdStats are the per-VM save/restore statistics (cold mode).
+	ColdStats []vmm.ColdStats
+}
+
+// Hotplug is the paper's "hotplug" category: detach + re-attach + confirm.
+func (r Report) Hotplug() sim.Time { return r.Detach + r.Attach }
+
+// Options tune an orchestrator.
+type Options struct {
+	// HostPCIID is what the scheduler reports as the HCA's host address.
+	HostPCIID string
+	// ConfirmTime overrides the per-phase script confirmation cost
+	// (defaults to the VMM parameter).
+	ConfirmTime sim.Time
+}
+
+// Orchestrator wires an MPI job to SymVirt coordinators and a controller,
+// and runs Ninja migration scripts against them.
+type Orchestrator struct {
+	k    *sim.Kernel
+	job  *mpi.Job
+	ctl  *symvirt.Controller
+	tgts []symvirt.Target
+	opts Options
+}
+
+// ErrShape reports a mismatch between destinations and VMs.
+var ErrShape = errors.New("ninja: destination list does not match VM list")
+
+// New builds an orchestrator over the job: one SymVirt coordinator per VM
+// (expecting ranksPerVM participants) and SELF CRS callbacks on every rank
+// that funnel into the coordinator — the libsymvirt.so LD_PRELOAD of the
+// paper, installed without modifying the MPI library or the application.
+func New(job *mpi.Job, opts Options) *Orchestrator {
+	k := job.Kernel()
+	if opts.HostPCIID == "" {
+		opts.HostPCIID = DefaultHostPCIID
+	}
+	o := &Orchestrator{k: k, job: job, opts: opts}
+
+	coordByVM := make(map[*vmm.VM]*symvirt.Coordinator)
+	for _, vm := range job.VMs() {
+		c := symvirt.NewCoordinator(vm, job.RanksPerVM())
+		coordByVM[vm] = c
+		o.tgts = append(o.tgts, symvirt.Target{VM: vm, Coord: c})
+	}
+	for _, r := range job.Ranks() {
+		r := r
+		coord := coordByVM[r.VM()]
+		r.SetCRS(crs.NewSELF(crs.Callbacks{
+			// Wait #1: the detach window.
+			Checkpoint: func(p *sim.Proc) { coord.Hold(p) },
+			// Wait #2..n: migration and re-attach windows, then confirm
+			// link-up before the runtime reconstructs BTLs.
+			Continue: func(p *sim.Proc) {
+				coord.Hold(p)
+				if _, ok := r.VM().Guest().IBDevice(); ok {
+					if err := r.VM().Guest().WaitIBLinkup(p); err != nil {
+						panic(fmt.Sprintf("ninja: linkup confirm on %s: %v", r.VM().Name(), err))
+					}
+				}
+			},
+		}))
+	}
+	confirm := opts.ConfirmTime
+	if confirm <= 0 {
+		confirm = job.VMs()[0].Params().ConfirmTime
+	}
+	o.ctl = symvirt.NewController(k, o.tgts, confirm)
+	return o
+}
+
+// Job returns the orchestrated MPI job.
+func (o *Orchestrator) Job() *mpi.Job { return o.job }
+
+// Controller returns the SymVirt controller (for custom scripts).
+func (o *Orchestrator) Controller() *symvirt.Controller { return o.ctl }
+
+// Targets returns the VM/coordinator pairs.
+func (o *Orchestrator) Targets() []symvirt.Target { return o.tgts }
+
+// Migrate runs the full Ninja migration script against destination nodes
+// (one per VM, in job VM order):
+//
+//	ckpt request → wait_all → device_detach → signal
+//	            → wait_all → migration     → signal/hold
+//	            → [wait_all → device_attach] → signal
+//	            → link-up confirm → BTL reconstruction → resume
+//
+// dsts[i] == current node performs a self-migration for VM i. The detach
+// and attach phases self-skip on VMs/nodes without HCAs, so the same
+// script implements fallback (IB→Eth), recovery (Eth→IB), and homogeneous
+// (IB→IB, Eth→Eth) moves — interconnect transparency.
+func (o *Orchestrator) Migrate(p *sim.Proc, dsts []*hw.Node) (Report, error) {
+	return o.MigratePolicy(p, dsts, AttachAuto)
+}
+
+// AttachPolicy controls the re-attach phase of a Ninja migration.
+type AttachPolicy int
+
+const (
+	// AttachAuto re-attaches on destinations that have an HCA.
+	AttachAuto AttachPolicy = iota
+	// AttachNever skips the re-attach phase: the VM runs on TCP even if
+	// the destination has InfiniBand. Table II's "→ Ethernet" settings
+	// use this on the HCA-equipped testbed.
+	AttachNever
+)
+
+// Mode selects how VM state crosses to the destination.
+type Mode int
+
+const (
+	// Live uses precopy live migration over the management network.
+	Live Mode = iota
+	// Cold suspends each VM to a qcow2 snapshot on the shared store and
+	// restores it on the destination — the paper's proactive
+	// fault-tolerance path (checkpointed images, §II-A). Trades wire
+	// bandwidth for (shared) storage bandwidth and works even when the
+	// source is about to disappear.
+	Cold
+)
+
+// ColdMigrate runs the Ninja script with checkpoint/restart transfer
+// instead of live migration.
+func (o *Orchestrator) ColdMigrate(p *sim.Proc, dsts []*hw.Node) (Report, error) {
+	return o.run(p, dsts, AttachAuto, Cold)
+}
+
+// MigratePolicy is Migrate with an explicit re-attach policy.
+func (o *Orchestrator) MigratePolicy(p *sim.Proc, dsts []*hw.Node, policy AttachPolicy) (Report, error) {
+	return o.run(p, dsts, policy, Live)
+}
+
+func (o *Orchestrator) run(p *sim.Proc, dsts []*hw.Node, policy AttachPolicy, mode Mode) (Report, error) {
+	var rep Report
+	if len(dsts) != len(o.tgts) {
+		return rep, fmt.Errorf("%w: %d destinations, %d VMs", ErrShape, len(dsts), len(o.tgts))
+	}
+	start := p.Now()
+
+	// Trigger: the cloud scheduler asks the MPI runtime to checkpoint.
+	ckptDone, err := o.job.RequestCheckpoint()
+	if err != nil {
+		return rep, err
+	}
+
+	// Phase 0 — coordination: all processes quiesce into SymVirt wait.
+	o.ctl.WaitAll(p)
+	rep.Coordination = p.Now() - start
+
+	// Cross-node migrations run under migration noise for the rest of
+	// the sequence (hotplug ≈3× slower; Fig. 6 vs Table II).
+	cross := false
+	for i, t := range o.tgts {
+		if dsts[i] != t.VM.Node() {
+			cross = true
+		}
+	}
+	if cross {
+		for _, t := range o.tgts {
+			t.VM.SetHotplugNoise(true)
+		}
+		defer func() {
+			for _, t := range o.tgts {
+				t.VM.SetHotplugNoise(false)
+			}
+		}()
+	}
+
+	// abort recovers from a mid-script failure: the application is parked
+	// in SymVirt wait, so we must restore a working configuration —
+	// re-attach devices wherever the VM currently sits on an HCA node —
+	// and release the guests before surfacing the error. Without this, a
+	// failed migration would leave the whole MPI job frozen forever.
+	abort := func(stage string, cause error) (Report, error) {
+		_ = o.ctl.DeviceAttach(p, DeviceTag, o.opts.HostPCIID) // best effort, idempotent
+		_ = o.ctl.Signal(symvirt.TokenProceed)
+		ckptDone.Wait(p)
+		rep.Total = p.Now() - start
+		return rep, fmt.Errorf("ninja: %s: %w (rolled back; job resumed in place)", stage, cause)
+	}
+
+	// Phase 1 — detach VMM-bypass devices.
+	mark := p.Now()
+	if err := o.ctl.DeviceDetach(p, DeviceTag); err != nil {
+		return abort("detach", err)
+	}
+	rep.Detach = p.Now() - mark
+	// TokenProceed ends the checkpoint callback; the guests immediately
+	// re-enter SymVirt wait from the continue callback.
+	if err := o.ctl.Signal(symvirt.TokenProceed); err != nil {
+		return rep, err
+	}
+
+	// Phase 2 — parallel live migration.
+	o.ctl.WaitAll(p)
+	mark = p.Now()
+	needAttach := false
+	if policy == AttachAuto {
+		for _, d := range dsts {
+			if d.HCA != nil {
+				needAttach = true
+			}
+		}
+	}
+	switch mode {
+	case Cold:
+		stats, err := o.ctl.ColdMigrate(p, dsts)
+		if err != nil {
+			return abort("cold migration", err)
+		}
+		rep.ColdStats = stats
+	default:
+		stats, err := o.ctl.Migrate(p, dsts)
+		if err != nil {
+			return abort("migration", err)
+		}
+		rep.VMStats = stats
+	}
+	rep.Migration = p.Now() - mark
+
+	// Phase 3 — re-attach on HCA-equipped destinations.
+	if needAttach {
+		if err := o.ctl.Signal(symvirt.TokenHold); err != nil {
+			return rep, err
+		}
+		o.ctl.WaitAll(p)
+		mark = p.Now()
+		if err := o.ctl.DeviceAttach(p, DeviceTag, o.opts.HostPCIID); err != nil {
+			return abort("attach", err)
+		}
+		rep.Attach = p.Now() - mark
+	}
+
+	// Release the guests: link-up confirmation + BTL reconstruction.
+	mark = p.Now()
+	if err := o.ctl.Signal(symvirt.TokenProceed); err != nil {
+		return rep, err
+	}
+	ckptDone.Wait(p)
+	rep.Linkup = p.Now() - mark
+	rep.Total = p.Now() - start
+	return rep, nil
+}
+
+// SelfMigrate runs the script with every VM migrating to its own node —
+// the Table II methodology for isolating hotplug and link-up costs.
+func (o *Orchestrator) SelfMigrate(p *sim.Proc) (Report, error) {
+	dsts := make([]*hw.Node, len(o.tgts))
+	for i, t := range o.tgts {
+		dsts[i] = t.VM.Node()
+	}
+	return o.Migrate(p, dsts)
+}

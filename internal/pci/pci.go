@@ -1,0 +1,204 @@
+// Package pci models a guest-visible PCI bus with ACPI-style hotplug,
+// the mechanism Ninja migration uses to detach a VMM-bypass device before
+// a live migration and re-attach one afterwards (paper §III-B: "PCI
+// hotplugging ... enables us to add and remove devices while the OS is
+// running").
+package pci
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Class is a coarse PCI device class used by guest drivers to bind.
+type Class int
+
+const (
+	// ClassOther is any device without a modelled driver.
+	ClassOther Class = iota
+	// ClassIBHCA is a VMM-bypass InfiniBand host channel adapter
+	// (the paper's Mellanox ConnectX, passed through or as an SR-IOV VF).
+	ClassIBHCA
+	// ClassVirtioNet is a para-virtualized Ethernet device.
+	ClassVirtioNet
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassIBHCA:
+		return "ib-hca"
+	case ClassVirtioNet:
+		return "virtio-net"
+	default:
+		return "other"
+	}
+}
+
+// Function is one PCI function that can be plugged into a bus slot.
+// Payload carries the underlying fabric device (*fabric.HCA, *fabric.NIC).
+type Function struct {
+	Name    string // e.g. "vf0" — the tag used in Ninja migration scripts
+	Class   Class
+	HostID  string // host PCI address, e.g. "04:00.0" (from the scheduler)
+	Payload any
+	// HostAttach/HostDetach are the VMM-side costs of mapping/unmapping
+	// the device (VFIO, IOMMU, interrupt remapping).
+	HostAttach sim.Time
+	HostDetach sim.Time
+}
+
+// Listener is the guest OS side of hotplug: the acpiphp driver. Methods
+// run in process context and may sleep (driver probe/unbind work). Use
+// bus.SleepScaled so guest-side work is subject to the same noise scaling
+// as host-side work.
+type Listener interface {
+	// DeviceAdded is invoked after the VMM inserts a function; it returns
+	// once the guest driver has bound the device.
+	DeviceAdded(p *sim.Proc, b *Bus, slot string, fn *Function)
+	// DeviceRemoveRequested is invoked on an ACPI eject request; it
+	// returns once the guest has released the device.
+	DeviceRemoveRequested(p *sim.Proc, b *Bus, slot string, fn *Function)
+}
+
+// Errors returned by bus operations.
+var (
+	ErrSlotOccupied = errors.New("pci: slot occupied")
+	ErrSlotEmpty    = errors.New("pci: slot empty")
+	ErrBusy         = errors.New("pci: hotplug operation in progress on slot")
+)
+
+// Bus is a guest-visible PCI bus with hotplug slots.
+type Bus struct {
+	k        *sim.Kernel
+	name     string
+	slots    map[string]*Function
+	busy     map[string]bool
+	listener Listener
+	// Slowdown, if non-nil, returns a factor (≥1) stretching hotplug work;
+	// the VMM installs this to model migration noise (Fig. 6 shows
+	// hotplug ≈3× slower when overlapping a live migration).
+	Slowdown func() float64
+}
+
+// NewBus creates an empty bus.
+func NewBus(k *sim.Kernel, name string) *Bus {
+	return &Bus{
+		k:     k,
+		name:  name,
+		slots: make(map[string]*Function),
+		busy:  make(map[string]bool),
+	}
+}
+
+// SetListener installs the guest's hotplug handler.
+func (b *Bus) SetListener(l Listener) { b.listener = l }
+
+// Name returns the bus name.
+func (b *Bus) Name() string { return b.name }
+
+// At returns the function in the slot, or nil.
+func (b *Bus) At(slot string) *Function { return b.slots[slot] }
+
+// Slots returns the occupied slot IDs in sorted order.
+func (b *Bus) Slots() []string {
+	out := make([]string, 0, len(b.slots))
+	for s := range b.slots {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FindByTag returns the first slot whose function name matches tag.
+func (b *Bus) FindByTag(tag string) (slot string, fn *Function, ok bool) {
+	for _, s := range b.Slots() {
+		if f := b.slots[s]; f.Name == tag {
+			return s, f, true
+		}
+	}
+	return "", nil, false
+}
+
+func (b *Bus) factor() float64 {
+	if b.Slowdown == nil {
+		return 1
+	}
+	f := b.Slowdown()
+	if f < 1 {
+		return 1
+	}
+	return f
+}
+
+// SleepScaled sleeps d stretched by the bus's current slowdown factor.
+// Guest drivers use it for probe/unbind work so that migration noise
+// applies uniformly.
+func (b *Bus) SleepScaled(p *sim.Proc, d sim.Time) {
+	p.Sleep(sim.Time(float64(d) * b.factor()))
+}
+
+// Insert cold-plugs fn into the slot as part of the machine's boot
+// configuration: no hotplug latency and no listener notification (the
+// guest discovers the device during boot enumeration instead).
+func (b *Bus) Insert(slot string, fn *Function) error {
+	if b.busy[slot] {
+		return ErrBusy
+	}
+	if _, occupied := b.slots[slot]; occupied {
+		return ErrSlotOccupied
+	}
+	b.slots[slot] = fn
+	return nil
+}
+
+// Add hot-plugs fn into the slot (the QEMU monitor's device_add). The
+// returned future resolves once the guest driver has bound the device.
+func (b *Bus) Add(slot string, fn *Function) (*sim.Future[struct{}], error) {
+	if b.busy[slot] {
+		return nil, ErrBusy
+	}
+	if _, occupied := b.slots[slot]; occupied {
+		return nil, ErrSlotOccupied
+	}
+	b.busy[slot] = true
+	fut := sim.NewFuture[struct{}](b.k)
+	b.k.Go(fmt.Sprintf("%s/add/%s", b.name, slot), func(p *sim.Proc) {
+		b.SleepScaled(p, fn.HostAttach) // VMM maps the device
+		b.slots[slot] = fn
+		if b.listener != nil {
+			b.listener.DeviceAdded(p, b, slot, fn) // ACPI notify → driver probe
+		}
+		b.busy[slot] = false
+		fut.Set(struct{}{})
+	})
+	return fut, nil
+}
+
+// Remove hot-unplugs the slot's function (device_del). The returned future
+// resolves once the guest has released the device and the VMM has unmapped
+// it; its value is the removed function.
+func (b *Bus) Remove(slot string) (*sim.Future[*Function], error) {
+	if b.busy[slot] {
+		return nil, ErrBusy
+	}
+	fn, occupied := b.slots[slot]
+	if !occupied {
+		return nil, ErrSlotEmpty
+	}
+	b.busy[slot] = true
+	fut := sim.NewFuture[*Function](b.k)
+	b.k.Go(fmt.Sprintf("%s/del/%s", b.name, slot), func(p *sim.Proc) {
+		if b.listener != nil {
+			b.listener.DeviceRemoveRequested(p, b, slot, fn) // eject request
+		}
+		b.SleepScaled(p, fn.HostDetach) // VMM unmaps the device
+		delete(b.slots, slot)
+		b.busy[slot] = false
+		fut.Set(fn)
+	})
+	return fut, nil
+}

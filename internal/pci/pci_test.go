@@ -1,0 +1,191 @@
+package pci
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+type recordingListener struct {
+	added    []string
+	removed  []string
+	probe    sim.Time
+	unbind   sim.Time
+	lastBus  *Bus
+	lastSlot string
+}
+
+func (r *recordingListener) DeviceAdded(p *sim.Proc, b *Bus, slot string, fn *Function) {
+	b.SleepScaled(p, r.probe)
+	r.added = append(r.added, fn.Name)
+	r.lastBus, r.lastSlot = b, slot
+}
+
+func (r *recordingListener) DeviceRemoveRequested(p *sim.Proc, b *Bus, slot string, fn *Function) {
+	b.SleepScaled(p, r.unbind)
+	r.removed = append(r.removed, fn.Name)
+}
+
+func TestAddRemoveLifecycle(t *testing.T) {
+	k := sim.NewKernel()
+	b := NewBus(k, "bus0")
+	l := &recordingListener{probe: sim.Second, unbind: 2 * sim.Second}
+	b.SetListener(l)
+	fn := &Function{Name: "vf0", Class: ClassIBHCA, HostID: "04:00.0",
+		HostAttach: 500 * sim.Millisecond, HostDetach: 300 * sim.Millisecond}
+
+	var addedAt, removedAt sim.Time
+	addFut, err := b.Add("slot1", fn)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	k.Go("watch", func(p *sim.Proc) {
+		addFut.Wait(p)
+		addedAt = p.Now()
+		rmFut, err := b.Remove("slot1")
+		if err != nil {
+			t.Errorf("Remove: %v", err)
+			return
+		}
+		got := rmFut.Wait(p)
+		removedAt = p.Now()
+		if got != fn {
+			t.Errorf("Remove returned %v, want the added function", got)
+		}
+	})
+	k.Run()
+	if addedAt != 1500*sim.Millisecond { // 0.5s host + 1s probe
+		t.Fatalf("addedAt = %v, want 1.5s", addedAt)
+	}
+	if removedAt != addedAt+2300*sim.Millisecond { // 2s unbind + 0.3s host
+		t.Fatalf("removedAt = %v, want %v", removedAt, addedAt+2300*sim.Millisecond)
+	}
+	if b.At("slot1") != nil {
+		t.Fatal("slot still occupied after remove")
+	}
+	if len(l.added) != 1 || len(l.removed) != 1 {
+		t.Fatalf("listener calls: added=%v removed=%v", l.added, l.removed)
+	}
+}
+
+func TestAddOccupiedSlot(t *testing.T) {
+	k := sim.NewKernel()
+	b := NewBus(k, "bus0")
+	fn := &Function{Name: "a"}
+	if _, err := b.Add("s", fn); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if _, err := b.Add("s", &Function{Name: "b"}); err != ErrSlotOccupied {
+		t.Fatalf("err = %v, want ErrSlotOccupied", err)
+	}
+}
+
+func TestRemoveEmptySlot(t *testing.T) {
+	k := sim.NewKernel()
+	b := NewBus(k, "bus0")
+	if _, err := b.Remove("nope"); err != ErrSlotEmpty {
+		t.Fatalf("err = %v, want ErrSlotEmpty", err)
+	}
+}
+
+func TestConcurrentOpOnSlotBusy(t *testing.T) {
+	k := sim.NewKernel()
+	b := NewBus(k, "bus0")
+	fn := &Function{Name: "a", HostAttach: sim.Second}
+	if _, err := b.Add("s", fn); err != nil {
+		t.Fatal(err)
+	}
+	// The add is still in flight (it needs 1s): a second op must fail.
+	if _, err := b.Add("s", fn); err != ErrBusy {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	if _, err := b.Remove("s"); err != ErrBusy {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	k.Run()
+}
+
+func TestSlowdownStretchesHotplug(t *testing.T) {
+	k := sim.NewKernel()
+	b := NewBus(k, "bus0")
+	factor := 3.0
+	b.Slowdown = func() float64 { return factor }
+	l := &recordingListener{probe: sim.Second}
+	b.SetListener(l)
+	fn := &Function{Name: "a", HostAttach: sim.Second}
+	fut, _ := b.Add("s", fn)
+	var at sim.Time
+	k.Go("w", func(p *sim.Proc) {
+		fut.Wait(p)
+		at = p.Now()
+	})
+	k.Run()
+	if at != 6*sim.Second { // (1s + 1s) × 3
+		t.Fatalf("hotplug with 3× noise took %v, want 6s", at)
+	}
+}
+
+func TestSlowdownBelowOneClamped(t *testing.T) {
+	k := sim.NewKernel()
+	b := NewBus(k, "bus0")
+	b.Slowdown = func() float64 { return 0.1 }
+	fn := &Function{Name: "a", HostAttach: sim.Second}
+	fut, _ := b.Add("s", fn)
+	var at sim.Time
+	k.Go("w", func(p *sim.Proc) {
+		fut.Wait(p)
+		at = p.Now()
+	})
+	k.Run()
+	if at != sim.Second {
+		t.Fatalf("at = %v, want 1s (factor clamped to 1)", at)
+	}
+}
+
+func TestFindByTag(t *testing.T) {
+	k := sim.NewKernel()
+	b := NewBus(k, "bus0")
+	b.Add("s1", &Function{Name: "vf0"})
+	b.Add("s2", &Function{Name: "vf1"})
+	k.Run()
+	slot, fn, ok := b.FindByTag("vf1")
+	if !ok || slot != "s2" || fn.Name != "vf1" {
+		t.Fatalf("FindByTag = %q,%v,%v", slot, fn, ok)
+	}
+	if _, _, ok := b.FindByTag("missing"); ok {
+		t.Fatal("found missing tag")
+	}
+}
+
+func TestSlotsSorted(t *testing.T) {
+	k := sim.NewKernel()
+	b := NewBus(k, "bus0")
+	b.Add("zz", &Function{Name: "a"})
+	b.Add("aa", &Function{Name: "b"})
+	b.Add("mm", &Function{Name: "c"})
+	k.Run()
+	s := b.Slots()
+	if len(s) != 3 || s[0] != "aa" || s[1] != "mm" || s[2] != "zz" {
+		t.Fatalf("Slots = %v", s)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassIBHCA.String() != "ib-hca" || ClassVirtioNet.String() != "virtio-net" || ClassOther.String() != "other" {
+		t.Fatal("Class.String broken")
+	}
+}
+
+func TestAddWithoutListener(t *testing.T) {
+	k := sim.NewKernel()
+	b := NewBus(k, "bus0")
+	fut, err := b.Add("s", &Function{Name: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if !fut.Done() {
+		t.Fatal("add without listener never completed")
+	}
+}

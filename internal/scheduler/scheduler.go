@@ -1,0 +1,123 @@
+// Package scheduler models the cloud scheduler the paper assumes (§III-C:
+// "we assume that the cloud scheduler provides information, including the
+// source and destination nodes of migration, and the PCI ID of a
+// VMM-bypass I/O device"). It delivers trigger events — maintenance
+// windows, disaster evacuations, consolidation decisions — to a Ninja
+// orchestrator at scheduled times and records the outcomes, in the spirit
+// of the GridARS middleware the authors cite.
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/hw"
+	"repro/internal/ninja"
+	"repro/internal/sim"
+)
+
+// Reason classifies why a migration is triggered (§II-A use cases).
+type Reason int
+
+const (
+	// Maintenance: non-stop hardware/software maintenance.
+	Maintenance Reason = iota
+	// Consolidation: high resource utilization / server consolidation.
+	Consolidation
+	// DisasterRecovery: evacuate before the data center fails.
+	DisasterRecovery
+	// Recovery: migrate back after the fallback condition clears.
+	Recovery
+)
+
+// String returns the reason label.
+func (r Reason) String() string {
+	switch r {
+	case Maintenance:
+		return "maintenance"
+	case Consolidation:
+		return "consolidation"
+	case DisasterRecovery:
+		return "disaster-recovery"
+	case Recovery:
+		return "recovery"
+	default:
+		return fmt.Sprintf("Reason(%d)", int(r))
+	}
+}
+
+// Event is one planned migration.
+type Event struct {
+	At     sim.Time
+	Reason Reason
+	// Dsts is the destination host list (one node per VM, job order) —
+	// the information the scheduler owns.
+	Dsts []*hw.Node
+	// HostPCIID is the VMM-bypass device's host address at destinations.
+	HostPCIID string
+}
+
+// Outcome records a completed trigger.
+type Outcome struct {
+	Event  Event
+	Report ninja.Report
+	Err    error
+	// Started/Finished are the actual execution times.
+	Started, Finished sim.Time
+}
+
+// Scheduler executes a plan of migration events against an orchestrator.
+type Scheduler struct {
+	k     *sim.Kernel
+	orch  *ninja.Orchestrator
+	plan  []Event
+	done  []Outcome
+	fin   *sim.Future[struct{}]
+	begun bool
+}
+
+// ErrAlreadyStarted guards against double Start.
+var ErrAlreadyStarted = errors.New("scheduler: already started")
+
+// New builds a scheduler over an orchestrator.
+func New(orch *ninja.Orchestrator) *Scheduler {
+	return &Scheduler{k: orch.Job().Kernel(), orch: orch}
+}
+
+// Plan appends an event to the plan (events may be added in any order;
+// they execute sorted by time).
+func (s *Scheduler) Plan(ev Event) { s.plan = append(s.plan, ev) }
+
+// PlanSize returns the number of planned events.
+func (s *Scheduler) PlanSize() int { return len(s.plan) }
+
+// Start launches the plan executor. Events run strictly sequentially in
+// time order — a trigger that arrives while a previous migration is still
+// running waits for it (the runtime refuses concurrent checkpoints). The
+// returned future resolves when every planned event has executed.
+func (s *Scheduler) Start() (*sim.Future[struct{}], error) {
+	if s.begun {
+		return nil, ErrAlreadyStarted
+	}
+	s.begun = true
+	s.fin = sim.NewFuture[struct{}](s.k)
+	plan := append([]Event(nil), s.plan...)
+	sort.SliceStable(plan, func(i, j int) bool { return plan[i].At < plan[j].At })
+	s.k.Go("cloud-scheduler", func(p *sim.Proc) {
+		for _, ev := range plan {
+			if ev.At > p.Now() {
+				p.Sleep(ev.At - p.Now())
+			}
+			out := Outcome{Event: ev, Started: p.Now()}
+			out.Report, out.Err = s.orch.Migrate(p, ev.Dsts)
+			out.Finished = p.Now()
+			s.done = append(s.done, out)
+		}
+		s.fin.Set(struct{}{})
+	})
+	return s.fin, nil
+}
+
+// Outcomes returns the executed events in completion order.
+func (s *Scheduler) Outcomes() []Outcome { return s.done }

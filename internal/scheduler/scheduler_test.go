@@ -1,0 +1,122 @@
+package scheduler
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+func deploy(t *testing.T) *experiments.Deployment {
+	t.Helper()
+	d, err := experiments.Deploy(experiments.DeployConfig{
+		NVMs: 2, RanksPerVM: 1, AttachHCA: true, DstHasIB: false,
+		ContinueLikeRestart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func launchApp(t *testing.T, d *experiments.Deployment, iters int) *sim.Future[struct{}] {
+	t.Helper()
+	return d.Job.Launch("app", func(p *sim.Proc, rk *mpi.Rank) {
+		for i := 0; i < iters; i++ {
+			rk.FTProbe(p)
+			rk.Compute(p, 1)
+			if err := rk.Bcast(p, 0, 1e6); err != nil {
+				t.Errorf("bcast: %v", err)
+				return
+			}
+		}
+	})
+}
+
+func TestPlannedEvacuationAndReturn(t *testing.T) {
+	d := deploy(t)
+	app := launchApp(t, d, 400)
+	s := New(d.Orch)
+	epoch := d.K.Now()
+	s.Plan(Event{At: epoch + 10*sim.Second, Reason: DisasterRecovery, Dsts: d.DstNodes(2)})
+	s.Plan(Event{At: epoch + 200*sim.Second, Reason: Recovery, Dsts: d.SrcNodes(2)})
+	fin, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.K.Run()
+	if !fin.Done() || !app.Done() {
+		t.Fatal("plan or app incomplete")
+	}
+	outs := s.Outcomes()
+	if len(outs) != 2 {
+		t.Fatalf("%d outcomes", len(outs))
+	}
+	for _, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("%s failed: %v", o.Event.Reason, o.Err)
+		}
+		if o.Started < o.Event.At {
+			t.Fatalf("%s started at %v before planned %v", o.Event.Reason, o.Started, o.Event.At)
+		}
+	}
+	if outs[0].Event.Reason != DisasterRecovery || outs[1].Event.Reason != Recovery {
+		t.Fatal("events executed out of order")
+	}
+	// VMs back home, transport back on InfiniBand.
+	for i, vm := range d.VMs {
+		if vm.Node() != d.Src.Nodes[i] {
+			t.Fatalf("VM %d not home after recovery", i)
+		}
+	}
+	if name, _ := d.Job.Rank(0).TransportTo(1); name != "openib" {
+		t.Fatalf("transport = %s after recovery", name)
+	}
+}
+
+func TestOverlappingEventsSerialize(t *testing.T) {
+	d := deploy(t)
+	app := launchApp(t, d, 400)
+	s := New(d.Orch)
+	epoch := d.K.Now()
+	// Second event fires while the first migration is still running: it
+	// must wait, not fail.
+	s.Plan(Event{At: epoch + 5*sim.Second, Reason: Maintenance, Dsts: d.DstNodes(2)})
+	s.Plan(Event{At: epoch + 6*sim.Second, Reason: Recovery, Dsts: d.SrcNodes(2)})
+	fin, _ := s.Start()
+	d.K.Run()
+	if !fin.Done() || !app.Done() {
+		t.Fatal("incomplete")
+	}
+	outs := s.Outcomes()
+	if outs[0].Err != nil || outs[1].Err != nil {
+		t.Fatalf("errors: %v / %v", outs[0].Err, outs[1].Err)
+	}
+	if outs[1].Started < outs[0].Finished {
+		t.Fatal("second event overlapped the first")
+	}
+}
+
+func TestDoubleStartRefused(t *testing.T) {
+	d := deploy(t)
+	s := New(d.Orch)
+	if _, err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Start(); err != ErrAlreadyStarted {
+		t.Fatalf("err = %v", err)
+	}
+	d.K.Run()
+}
+
+func TestReasonString(t *testing.T) {
+	for r, want := range map[Reason]string{
+		Maintenance: "maintenance", Consolidation: "consolidation",
+		DisasterRecovery: "disaster-recovery", Recovery: "recovery",
+	} {
+		if r.String() != want {
+			t.Fatalf("%d → %s", r, r.String())
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Logger receives kernel trace output when tracing is enabled.
+type Logger interface {
+	Logf(format string, args ...any)
+}
+
+// event is a scheduled callback. Events with equal fire times execute in
+// the order they were scheduled (FIFO by seq).
+type event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once popped or cancelled
+}
+
+// Event is a handle to a scheduled event, usable to cancel it.
+type Event struct {
+	k  *Kernel
+	ev *event
+}
+
+// Cancel removes the event from the queue. It is a no-op if the event has
+// already fired or been cancelled. Reports whether the event was cancelled.
+func (e *Event) Cancel() bool {
+	if e == nil || e.ev == nil || e.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.k.queue, e.ev.index)
+	e.ev.index = -1
+	e.ev.fn = nil
+	return true
+}
+
+// Pending reports whether the event is still queued.
+func (e *Event) Pending() bool { return e != nil && e.ev != nil && e.ev.index >= 0 }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is a discrete-event simulation engine. A Kernel is not safe for
+// concurrent use from multiple OS-level goroutines except through the
+// Proc handoff protocol it manages itself.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	yield   chan struct{} // procs signal here when they park or exit
+	procs   map[*Proc]struct{}
+	running bool
+	failure any // first panic propagated from a proc
+	trace   Logger
+	closed  bool
+}
+
+// NewKernel returns a kernel with the clock at the epoch.
+func NewKernel() *Kernel {
+	return &Kernel{
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// SetTrace installs a trace logger (nil disables tracing).
+func (k *Kernel) SetTrace(l Logger) { k.trace = l }
+
+// Tracef emits a trace line prefixed with the current simulated time.
+func (k *Kernel) Tracef(format string, args ...any) {
+	if k.trace != nil {
+		k.trace.Logf("[%s] %s", k.now, fmt.Sprintf(format, args...))
+	}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Schedule queues fn to run after delay. A negative delay panics.
+// The returned handle may be used to cancel the event.
+func (k *Kernel) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: Schedule with negative delay %v", delay))
+	}
+	if k.closed {
+		panic("sim: Schedule on closed kernel")
+	}
+	ev := &event{at: k.now.SaturatingAdd(delay), seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, ev)
+	return &Event{k: k, ev: ev}
+}
+
+// ScheduleAt queues fn to run at absolute time at, which must not be in
+// the past.
+func (k *Kernel) ScheduleAt(at Time, fn func()) *Event {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: ScheduleAt %v is before now %v", at, k.now))
+	}
+	return k.Schedule(at-k.now, fn)
+}
+
+// Run executes events until the queue is empty. It returns the final
+// simulated time. If any process panicked, Run re-panics with that value.
+func (k *Kernel) Run() Time { return k.RunUntil(MaxTime) }
+
+// RunUntil executes events with fire times <= deadline, then sets the clock
+// to min(deadline, time of last executed event). Events after deadline stay
+// queued; a later RunUntil call continues from where this one stopped.
+func (k *Kernel) RunUntil(deadline Time) Time {
+	if k.running {
+		panic("sim: RunUntil called re-entrantly")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for len(k.queue) > 0 {
+		next := k.queue[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&k.queue)
+		if next.at < k.now {
+			panic("sim: event time went backwards")
+		}
+		k.now = next.at
+		fn := next.fn
+		next.fn = nil
+		fn()
+		if k.failure != nil {
+			f := k.failure
+			k.failure = nil
+			panic(f)
+		}
+	}
+	if deadline != MaxTime && deadline > k.now {
+		k.now = deadline
+	}
+	return k.now
+}
+
+// Idle reports whether no events are queued.
+func (k *Kernel) Idle() bool { return len(k.queue) == 0 }
+
+// PendingEvents returns the number of queued events.
+func (k *Kernel) PendingEvents() int { return len(k.queue) }
+
+// LiveProcs returns the number of processes that have been started and have
+// not yet exited (including parked ones).
+func (k *Kernel) LiveProcs() int { return len(k.procs) }
+
+// Close terminates every parked process by unwinding its goroutine, then
+// marks the kernel unusable. It is safe to call after Run returns; it lets
+// tests assert no goroutines leak. Close must not be called from within a
+// simulation event.
+func (k *Kernel) Close() {
+	if k.running {
+		panic("sim: Close called from inside the simulation")
+	}
+	if k.closed {
+		return
+	}
+	k.closed = true
+	for p := range k.procs {
+		if p.parked {
+			p.killed = true
+			p.resume <- struct{}{}
+			<-k.yield
+		}
+	}
+	k.procs = nil
+	k.queue = nil
+}

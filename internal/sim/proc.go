@@ -1,0 +1,104 @@
+package sim
+
+import "fmt"
+
+// procKilled is the sentinel panic value used to unwind a parked process
+// when the kernel is closed.
+type procKilled struct{}
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// with other processes only at explicit blocking points (Sleep, waits on
+// sync primitives). Between blocking points a process runs to completion,
+// so model code needs no locking.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+	parked bool
+	killed bool
+	doneF  *Future[struct{}]
+}
+
+// Go starts fn as a new simulated process. The process begins executing at
+// the current simulated time, after all already-queued events for this
+// instant. The returned Proc can be waited on via Done.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		resume: make(chan struct{}),
+		doneF:  NewFuture[struct{}](k),
+	}
+	k.procs[p] = struct{}{}
+	go func() {
+		<-p.resume // wait for first scheduling
+		defer func() {
+			r := recover()
+			delete(k.procs, p)
+			if r != nil {
+				if _, ok := r.(procKilled); ok {
+					// Kernel shutdown: unwind silently. Close() performs
+					// the handoff receive itself.
+					k.yield <- struct{}{}
+					return
+				}
+				k.failure = fmt.Sprintf("sim: proc %q panicked: %v", p.name, r)
+			} else {
+				p.doneF.Set(struct{}{})
+			}
+			k.yield <- struct{}{}
+		}()
+		if p.killed {
+			panic(procKilled{})
+		}
+		fn(p)
+	}()
+	k.Schedule(0, func() { p.step() })
+	return p
+}
+
+// step transfers control to the process and waits for it to park or exit.
+// It must only be called from event context (the kernel loop).
+func (p *Proc) step() {
+	p.parked = false
+	p.resume <- struct{}{}
+	<-p.k.yield
+}
+
+// park suspends the process until some event calls step. It must only be
+// called from the process's own goroutine.
+func (p *Proc) park() {
+	p.parked = true
+	p.k.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(procKilled{})
+	}
+}
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Done returns a future that resolves when the process function returns.
+func (p *Proc) Done() *Future[struct{}] { return p.doneF }
+
+// Sleep suspends the process for d simulated time. A non-positive d yields
+// the processor for one scheduling round (other events at the current
+// instant run first).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.Schedule(d, func() { p.step() })
+	p.park()
+}
+
+// Yield is Sleep(0): lets all other events queued for the current instant
+// run before the process continues.
+func (p *Proc) Yield() { p.Sleep(0) }

@@ -1,0 +1,157 @@
+package sim
+
+import "math"
+
+// PS is a processor-sharing resource: a server with a total capacity
+// (work units per simulated second) shared equally among all active jobs,
+// optionally with a per-job rate cap. It models both CPUs under contention
+// (capacity = cores, per-job cap = 1 core) and network pipes with fair
+// sharing (capacity = bandwidth).
+type PS struct {
+	k          *Kernel
+	capacity   float64 // units per second
+	perJobCap  float64 // max units per second per job; <=0 means unlimited
+	background float64 // capacity-consuming load with no completion (spinners)
+	jobs       map[*psJob]struct{}
+	lastUpdate Time
+	pending    *Event
+}
+
+type psJob struct {
+	remaining float64
+	fut       *Future[struct{}]
+}
+
+const psEpsilon = 1e-6
+
+// NewPS returns a processor-sharing resource. capacity must be positive;
+// perJobCap <= 0 means a job may consume the whole capacity when alone.
+func NewPS(k *Kernel, capacity, perJobCap float64) *PS {
+	if capacity <= 0 {
+		panic("sim: NewPS with non-positive capacity")
+	}
+	return &PS{
+		k:          k,
+		capacity:   capacity,
+		perJobCap:  perJobCap,
+		jobs:       make(map[*psJob]struct{}),
+		lastUpdate: k.Now(),
+	}
+}
+
+// Load returns the number of active jobs.
+func (ps *PS) Load() int { return len(ps.jobs) }
+
+// Capacity returns the total capacity in units per second.
+func (ps *PS) Capacity() float64 { return ps.capacity }
+
+// SetCapacity changes the total capacity, re-planning active jobs.
+func (ps *PS) SetCapacity(c float64) {
+	if c <= 0 {
+		panic("sim: SetCapacity with non-positive capacity")
+	}
+	ps.update()
+	ps.capacity = c
+	ps.replan()
+}
+
+// AddBackground adjusts the background load: capacity-consuming work that
+// never completes, such as busy-polling vCPUs. Background load takes an
+// equal processor share but produces nothing, slowing real jobs.
+func (ps *PS) AddBackground(delta float64) {
+	ps.update()
+	ps.background += delta
+	if ps.background < 0 {
+		panic("sim: negative PS background load")
+	}
+	ps.replan()
+}
+
+// Background returns the current background load.
+func (ps *PS) Background() float64 { return ps.background }
+
+// rate returns the per-job service rate right now.
+func (ps *PS) rate() float64 {
+	n := len(ps.jobs)
+	if n == 0 {
+		return 0
+	}
+	r := ps.capacity / (float64(n) + ps.background)
+	if ps.perJobCap > 0 && r > ps.perJobCap {
+		r = ps.perJobCap
+	}
+	return r
+}
+
+// update advances all jobs' remaining work to the current time.
+func (ps *PS) update() {
+	now := ps.k.Now()
+	if now == ps.lastUpdate {
+		return
+	}
+	elapsed := (now - ps.lastUpdate).Seconds()
+	r := ps.rate()
+	if r > 0 {
+		for j := range ps.jobs {
+			j.remaining -= r * elapsed
+		}
+	}
+	ps.lastUpdate = now
+}
+
+// replan completes any finished jobs and schedules the next completion.
+func (ps *PS) replan() {
+	if ps.pending != nil {
+		ps.pending.Cancel()
+		ps.pending = nil
+	}
+	var finished []*psJob
+	for j := range ps.jobs {
+		if j.remaining <= psEpsilon {
+			finished = append(finished, j)
+		}
+	}
+	for _, j := range finished {
+		delete(ps.jobs, j)
+		j.fut.Set(struct{}{})
+	}
+	if len(ps.jobs) == 0 {
+		return
+	}
+	r := ps.rate()
+	minRemaining := math.Inf(1)
+	for j := range ps.jobs {
+		if j.remaining < minRemaining {
+			minRemaining = j.remaining
+		}
+	}
+	dt := FromSeconds(minRemaining / r).SaturatingAdd(1) // +1ns guards against rounding short
+	if dt >= MaxTime {
+		return // effectively stalled; a later capacity change replans
+	}
+	ps.pending = ps.k.Schedule(dt, func() {
+		ps.pending = nil
+		ps.update()
+		ps.replan()
+	})
+}
+
+// ServeAsync submits a job of the given amount of work and returns a future
+// that resolves when the job completes. A non-positive amount completes
+// immediately.
+func (ps *PS) ServeAsync(amount float64) *Future[struct{}] {
+	fut := NewFuture[struct{}](ps.k)
+	if amount <= 0 {
+		fut.Set(struct{}{})
+		return fut
+	}
+	ps.update()
+	ps.jobs[&psJob{remaining: amount, fut: fut}] = struct{}{}
+	ps.replan()
+	return fut
+}
+
+// Serve submits a job and blocks the process until it completes.
+func (ps *PS) Serve(p *Proc, amount float64) {
+	ps.ServeAsync(amount).Wait(p)
+}

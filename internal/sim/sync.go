@@ -1,0 +1,347 @@
+package sim
+
+// Future is a write-once value that processes can wait on.
+type Future[T any] struct {
+	k       *Kernel
+	done    bool
+	val     T
+	waiters []*Proc
+	cbs     []func(T)
+}
+
+// NewFuture returns an unresolved future bound to k.
+func NewFuture[T any](k *Kernel) *Future[T] { return &Future[T]{k: k} }
+
+// Done reports whether the future has been resolved.
+func (f *Future[T]) Done() bool { return f.done }
+
+// Value returns the resolved value; it panics if the future is unresolved.
+func (f *Future[T]) Value() T {
+	if !f.done {
+		panic("sim: Future.Value on unresolved future")
+	}
+	return f.val
+}
+
+// Set resolves the future and wakes all waiters. Setting an already
+// resolved future panics (futures are write-once).
+func (f *Future[T]) Set(v T) {
+	if f.done {
+		panic("sim: Future.Set on already-resolved future")
+	}
+	f.done = true
+	f.val = v
+	waiters := f.waiters
+	f.waiters = nil
+	cbs := f.cbs
+	f.cbs = nil
+	for _, p := range waiters {
+		p := p
+		f.k.Schedule(0, func() { p.step() })
+	}
+	for _, cb := range cbs {
+		cb := cb
+		f.k.Schedule(0, func() { cb(v) })
+	}
+}
+
+// Wait blocks the process until the future resolves, then returns its value.
+func (f *Future[T]) Wait(p *Proc) T {
+	if !f.done {
+		f.waiters = append(f.waiters, p)
+		p.park()
+	}
+	return f.val
+}
+
+// OnDone registers cb to run (in event context) once the future resolves.
+// If already resolved, cb is scheduled immediately.
+func (f *Future[T]) OnDone(cb func(T)) {
+	if f.done {
+		v := f.val
+		f.k.Schedule(0, func() { cb(v) })
+		return
+	}
+	f.cbs = append(f.cbs, cb)
+}
+
+// WaitAll blocks until every future in fs has resolved.
+func WaitAll[T any](p *Proc, fs ...*Future[T]) {
+	for _, f := range fs {
+		f.Wait(p)
+	}
+}
+
+// Chan is a simulated channel with FIFO semantics and an optional buffer,
+// analogous to a Go channel but integrated with the simulation clock.
+type Chan[T any] struct {
+	k      *Kernel
+	buf    []T
+	cap    int // 0 = rendezvous
+	sendq  []*chanSend[T]
+	recvq  []*chanRecv[T]
+	closed bool
+}
+
+type chanSend[T any] struct {
+	p   *Proc
+	val T
+	ok  bool // delivered
+}
+
+type chanRecv[T any] struct {
+	p   *Proc
+	val T
+	ok  bool // received a value (false once closed and drained)
+	set bool
+}
+
+// NewChan returns a simulated channel with the given buffer capacity.
+func NewChan[T any](k *Kernel, capacity int) *Chan[T] {
+	if capacity < 0 {
+		panic("sim: NewChan with negative capacity")
+	}
+	return &Chan[T]{k: k, cap: capacity}
+}
+
+// Len returns the number of buffered values.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Close closes the channel; pending and future receives complete with
+// ok=false once the buffer drains. Sending on a closed channel panics.
+func (c *Chan[T]) Close() {
+	if c.closed {
+		panic("sim: close of closed Chan")
+	}
+	c.closed = true
+	if len(c.buf) == 0 {
+		recvq := c.recvq
+		c.recvq = nil
+		for _, r := range recvq {
+			r := r
+			r.set = true
+			c.k.Schedule(0, func() { r.p.step() })
+		}
+	}
+}
+
+// Closed reports whether Close has been called.
+func (c *Chan[T]) Closed() bool { return c.closed }
+
+// Send delivers v, blocking while the buffer is full (or, for a rendezvous
+// channel, until a receiver arrives).
+func (c *Chan[T]) Send(p *Proc, v T) {
+	if c.closed {
+		panic("sim: send on closed Chan")
+	}
+	// Direct handoff to a waiting receiver.
+	if len(c.recvq) > 0 {
+		r := c.recvq[0]
+		c.recvq = c.recvq[1:]
+		r.val, r.ok, r.set = v, true, true
+		c.k.Schedule(0, func() { r.p.step() })
+		return
+	}
+	if len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return
+	}
+	s := &chanSend[T]{p: p, val: v}
+	c.sendq = append(c.sendq, s)
+	p.park()
+	if !s.ok {
+		panic("sim: Chan send woken without delivery")
+	}
+}
+
+// Recv returns the next value. ok is false if the channel is closed and
+// drained.
+func (c *Chan[T]) Recv(p *Proc) (v T, ok bool) {
+	if len(c.buf) > 0 {
+		v = c.buf[0]
+		c.buf = c.buf[1:]
+		// Promote a blocked sender into the freed buffer slot.
+		if len(c.sendq) > 0 {
+			s := c.sendq[0]
+			c.sendq = c.sendq[1:]
+			c.buf = append(c.buf, s.val)
+			s.ok = true
+			c.k.Schedule(0, func() { s.p.step() })
+		}
+		return v, true
+	}
+	if len(c.sendq) > 0 { // rendezvous handoff
+		s := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		s.ok = true
+		c.k.Schedule(0, func() { s.p.step() })
+		return s.val, true
+	}
+	if c.closed {
+		var zero T
+		return zero, false
+	}
+	r := &chanRecv[T]{p: p}
+	c.recvq = append(c.recvq, r)
+	p.park()
+	if !r.set {
+		panic("sim: Chan recv woken without value")
+	}
+	return r.val, r.ok
+}
+
+// TryRecv receives without blocking; ok reports whether a value was taken.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	if len(c.buf) > 0 {
+		v = c.buf[0]
+		c.buf = c.buf[1:]
+		if len(c.sendq) > 0 {
+			s := c.sendq[0]
+			c.sendq = c.sendq[1:]
+			c.buf = append(c.buf, s.val)
+			s.ok = true
+			c.k.Schedule(0, func() { s.p.step() })
+		}
+		return v, true
+	}
+	if len(c.sendq) > 0 {
+		s := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		s.ok = true
+		c.k.Schedule(0, func() { s.p.step() })
+		return s.val, true
+	}
+	var zero T
+	return zero, false
+}
+
+// WaitGroup counts outstanding work items, like sync.WaitGroup but
+// simulation-aware.
+type WaitGroup struct {
+	k       *Kernel
+	count   int
+	waiters []*Proc
+}
+
+// NewWaitGroup returns a WaitGroup bound to k.
+func NewWaitGroup(k *Kernel) *WaitGroup { return &WaitGroup{k: k} }
+
+// Add increments the counter by n (n may be negative, like Done).
+func (wg *WaitGroup) Add(n int) {
+	wg.count += n
+	if wg.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.count == 0 {
+		waiters := wg.waiters
+		wg.waiters = nil
+		for _, p := range waiters {
+			p := p
+			wg.k.Schedule(0, func() { p.step() })
+		}
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait blocks until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	if wg.count == 0 {
+		return
+	}
+	wg.waiters = append(wg.waiters, p)
+	p.park()
+}
+
+// Cond is a simulation-aware condition variable. Because processes run to
+// completion between blocking points there is no associated lock; Wait
+// simply parks until Signal or Broadcast.
+type Cond struct {
+	k       *Kernel
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable bound to k.
+func NewCond(k *Kernel) *Cond { return &Cond{k: k} }
+
+// Wait parks the process until a Signal or Broadcast.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.k.Schedule(0, func() { p.step() })
+}
+
+// Broadcast wakes every waiting process.
+func (c *Cond) Broadcast() {
+	waiters := c.waiters
+	c.waiters = nil
+	for _, p := range waiters {
+		p := p
+		c.k.Schedule(0, func() { p.step() })
+	}
+}
+
+// Waiting returns the number of parked waiters.
+func (c *Cond) Waiting() int { return len(c.waiters) }
+
+// Semaphore is a counting semaphore with FIFO acquisition order.
+type Semaphore struct {
+	k       *Kernel
+	tokens  int
+	waiters []*semWait
+}
+
+type semWait struct {
+	p *Proc
+	n int
+}
+
+// NewSemaphore returns a semaphore with the given number of tokens.
+func NewSemaphore(k *Kernel, tokens int) *Semaphore {
+	if tokens < 0 {
+		panic("sim: NewSemaphore with negative tokens")
+	}
+	return &Semaphore{k: k, tokens: tokens}
+}
+
+// Acquire takes n tokens, blocking until available. FIFO order is strict:
+// a large waiter at the head blocks smaller waiters behind it.
+func (s *Semaphore) Acquire(p *Proc, n int) {
+	if n <= 0 {
+		panic("sim: Semaphore.Acquire with non-positive n")
+	}
+	if len(s.waiters) == 0 && s.tokens >= n {
+		s.tokens -= n
+		return
+	}
+	s.waiters = append(s.waiters, &semWait{p: p, n: n})
+	p.park()
+}
+
+// Release returns n tokens and wakes eligible waiters in FIFO order.
+func (s *Semaphore) Release(n int) {
+	if n <= 0 {
+		panic("sim: Semaphore.Release with non-positive n")
+	}
+	s.tokens += n
+	for len(s.waiters) > 0 && s.tokens >= s.waiters[0].n {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.tokens -= w.n
+		p := w.p
+		s.k.Schedule(0, func() { p.step() })
+	}
+}
+
+// Available returns the current token count.
+func (s *Semaphore) Available() int { return s.tokens }

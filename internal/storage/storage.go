@@ -1,0 +1,77 @@
+// Package storage models the NFS-style shared storage the paper's live
+// migration depends on (§IV-A: "Live migration was required for the shared
+// storage among the source and destination nodes. In this experiment, we
+// used NFS version 3").
+package storage
+
+import (
+	"errors"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// ErrNotShared is returned when a migration's source and destination do
+// not mount a common store.
+var ErrNotShared = errors.New("storage: nodes do not share a store")
+
+// NFS is a shared store with a mount set and an optional I/O service model
+// (a single server whose read and write bandwidth is shared fairly by
+// concurrent clients — what makes eight VMs checkpointing at once slower
+// than one).
+type NFS struct {
+	Name   string
+	mounts map[*hw.Node]bool
+
+	readPS  *sim.PS
+	writePS *sim.PS
+}
+
+// NewNFS returns an empty store with instantaneous I/O (call EnableIO to
+// model server bandwidth).
+func NewNFS(name string) *NFS {
+	return &NFS{Name: name, mounts: make(map[*hw.Node]bool)}
+}
+
+// EnableIO gives the store finite read/write bandwidth (bytes/sec),
+// shared fairly among concurrent requests.
+func (s *NFS) EnableIO(k *sim.Kernel, readBW, writeBW float64) {
+	s.readPS = sim.NewPS(k, readBW, 0)
+	s.writePS = sim.NewPS(k, writeBW, 0)
+}
+
+// Write stores bytes, blocking for the server's share of write bandwidth.
+func (s *NFS) Write(p *sim.Proc, bytes float64) {
+	if s.writePS != nil && bytes > 0 {
+		s.writePS.Serve(p, bytes)
+	}
+}
+
+// Read fetches bytes, blocking for the server's share of read bandwidth.
+func (s *NFS) Read(p *sim.Proc, bytes float64) {
+	if s.readPS != nil && bytes > 0 {
+		s.readPS.Serve(p, bytes)
+	}
+}
+
+// Mount exports the store to a node.
+func (s *NFS) Mount(n *hw.Node) { s.mounts[n] = true }
+
+// MountAll exports the store to every node of the clusters.
+func (s *NFS) MountAll(clusters ...*hw.Cluster) {
+	for _, c := range clusters {
+		for _, n := range c.Nodes {
+			s.Mount(n)
+		}
+	}
+}
+
+// Unmount withdraws the export.
+func (s *NFS) Unmount(n *hw.Node) { delete(s.mounts, n) }
+
+// MountedOn reports whether the node mounts this store.
+func (s *NFS) MountedOn(n *hw.Node) bool { return s.mounts[n] }
+
+// SharedBy reports whether both nodes mount this store, the precondition
+// for (disk-less) live migration.
+func (s *NFS) SharedBy(a, b *hw.Node) bool { return s.mounts[a] && s.mounts[b] }

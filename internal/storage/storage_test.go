@@ -1,0 +1,82 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func TestMountSharing(t *testing.T) {
+	k := sim.NewKernel()
+	tb := hw.NewTestbed(k)
+	a := tb.AddCluster("a", 2, hw.AGCNodeSpec)
+	b := tb.AddCluster("b", 2, hw.AGCNodeSpec)
+	nfs := NewNFS("nfs0")
+	nfs.MountAll(a)
+	if !nfs.SharedBy(a.Nodes[0], a.Nodes[1]) {
+		t.Fatal("intra-cluster sharing broken")
+	}
+	if nfs.SharedBy(a.Nodes[0], b.Nodes[0]) {
+		t.Fatal("b not mounted yet")
+	}
+	nfs.Mount(b.Nodes[0])
+	if !nfs.SharedBy(a.Nodes[0], b.Nodes[0]) {
+		t.Fatal("cross-cluster sharing broken after mount")
+	}
+	nfs.Unmount(b.Nodes[0])
+	if nfs.MountedOn(b.Nodes[0]) {
+		t.Fatal("unmount failed")
+	}
+}
+
+func TestIOBandwidthSharing(t *testing.T) {
+	k := sim.NewKernel()
+	nfs := NewNFS("io")
+	nfs.EnableIO(k, 100, 50) // 100 B/s read, 50 B/s write
+	var readDone, writeDone sim.Time
+	k.Go("r", func(p *sim.Proc) {
+		nfs.Read(p, 200) // 2 s alone
+		readDone = p.Now()
+	})
+	k.Go("w", func(p *sim.Proc) {
+		nfs.Write(p, 200) // 4 s alone (separate write server)
+		writeDone = p.Now()
+	})
+	k.Run()
+	if readDone < 1900*sim.Millisecond || readDone > 2100*sim.Millisecond {
+		t.Fatalf("read took %v, want ≈2s", readDone)
+	}
+	if writeDone < 3900*sim.Millisecond || writeDone > 4100*sim.Millisecond {
+		t.Fatalf("write took %v, want ≈4s", writeDone)
+	}
+}
+
+func TestIOConcurrentWritersShare(t *testing.T) {
+	k := sim.NewKernel()
+	nfs := NewNFS("io")
+	nfs.EnableIO(k, 100, 100)
+	var d1, d2 sim.Time
+	k.Go("w1", func(p *sim.Proc) { nfs.Write(p, 100); d1 = p.Now() })
+	k.Go("w2", func(p *sim.Proc) { nfs.Write(p, 100); d2 = p.Now() })
+	k.Run()
+	// Two writers share 100 B/s: both finish at ≈2 s.
+	if d1 < 1900*sim.Millisecond || d2 < 1900*sim.Millisecond {
+		t.Fatalf("d1=%v d2=%v, want ≈2s (shared server)", d1, d2)
+	}
+}
+
+func TestIODisabledInstant(t *testing.T) {
+	k := sim.NewKernel()
+	nfs := NewNFS("fast")
+	done := sim.Time(-1)
+	k.Go("w", func(p *sim.Proc) {
+		nfs.Write(p, 1e12)
+		nfs.Read(p, 1e12)
+		done = p.Now()
+	})
+	k.Run()
+	if done != 0 {
+		t.Fatalf("instant IO took %v", done)
+	}
+}

@@ -1,0 +1,116 @@
+package vmm
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/pci"
+	"repro/internal/sim"
+)
+
+// Guest models the guest operating system: the acpiphp hotplug driver, the
+// mlx4-like IB driver and the virtio-net driver. It is the layer SymVirt's
+// gray-box approach cooperates with.
+type Guest struct {
+	vm *VM
+
+	ib  *fabric.HCA // bound IB device, nil when detached
+	eth *fabric.NIC // bound virtio NIC
+
+	// appFrozen is set while the application is blocked in SymVirt wait;
+	// a frozen application dirties no memory, which is what makes Ninja
+	// migration's single-pass transfer possible.
+	appFrozen bool
+}
+
+// SetAppFrozen marks the application frozen/unfrozen (SymVirt wait/signal).
+func (g *Guest) SetAppFrozen(frozen bool) { g.appFrozen = frozen }
+
+// AppFrozen reports whether the application is frozen in SymVirt wait.
+func (g *Guest) AppFrozen() bool { return g.appFrozen }
+
+func newGuest(vm *VM) *Guest { return &Guest{vm: vm} }
+
+// bootBind binds a cold-plugged device without reset: the device was
+// initialized at boot, so a passthrough HCA keeps its trained link.
+func (g *Guest) bootBind(fn *pci.Function) {
+	switch fn.Class {
+	case pci.ClassIBHCA:
+		g.ib = fn.Payload.(*fabric.HCA)
+	case pci.ClassVirtioNet:
+		g.eth = fn.Payload.(*fabric.NIC)
+		g.eth.SetUp(true)
+	}
+}
+
+// DeviceAdded implements pci.Listener: the acpiphp driver probes a
+// hot-plugged device. For an IB HCA the mlx4 driver resets the adapter,
+// which drops the physical link into Polling — the origin of the ≈30 s
+// link-up cost the paper measures whenever the destination has InfiniBand.
+func (g *Guest) DeviceAdded(p *sim.Proc, b *pci.Bus, slot string, fn *pci.Function) {
+	switch fn.Class {
+	case pci.ClassIBHCA:
+		b.SleepScaled(p, g.vm.params.IBProbeTime)
+		hca := fn.Payload.(*fabric.HCA)
+		if g.vm.params.IBPrewarmedAttach && hca.State() == fabric.PortActive {
+			// Optimized handoff (§V): adopt the host-trained link without
+			// a reset — no 30 s re-training.
+			g.ib = hca
+			return
+		}
+		if hca.State() != fabric.PortDown {
+			hca.PowerOff() // driver reset drops the link
+		}
+		hca.PowerOn() // training starts; WaitIBLinkup observes Active
+		g.ib = hca
+	case pci.ClassVirtioNet:
+		b.SleepScaled(p, g.vm.params.VirtioProbeTime)
+		nic := fn.Payload.(*fabric.NIC)
+		nic.SetUp(true)
+		g.eth = nic
+	}
+}
+
+// DeviceRemoveRequested implements pci.Listener: the guest releases the
+// device. For an IB HCA this destroys all queue pairs — which is why the
+// MPI layer must have released its InfiniBand resources first (the
+// pre-checkpoint phase of the paper's CRCP coordination).
+func (g *Guest) DeviceRemoveRequested(p *sim.Proc, b *pci.Bus, slot string, fn *pci.Function) {
+	switch fn.Class {
+	case pci.ClassIBHCA:
+		b.SleepScaled(p, g.vm.params.IBUnbindTime)
+		hca := fn.Payload.(*fabric.HCA)
+		hca.PowerOff()
+		if g.ib == hca {
+			g.ib = nil
+		}
+	case pci.ClassVirtioNet:
+		b.SleepScaled(p, g.vm.params.VirtioUnbindTime)
+		nic := fn.Payload.(*fabric.NIC)
+		nic.SetUp(false)
+		if g.eth == nic {
+			g.eth = nil
+		}
+	}
+}
+
+// IBDevice returns the bound IB HCA, if any.
+func (g *Guest) IBDevice() (*fabric.HCA, bool) { return g.ib, g.ib != nil }
+
+// IBUsable reports whether an IB device is bound and its link is Active.
+func (g *Guest) IBUsable() bool {
+	return g.ib != nil && g.ib.State() == fabric.PortActive
+}
+
+// EthDevice returns the bound virtio NIC, if any.
+func (g *Guest) EthDevice() (*fabric.NIC, bool) { return g.eth, g.eth != nil }
+
+// WaitIBLinkup blocks until the bound IB device's port is Active — the
+// "confirm linkup" step in Fig. 4. It returns an error if no IB device is
+// bound or it is powered down.
+func (g *Guest) WaitIBLinkup(p *sim.Proc) error {
+	if g.ib == nil {
+		return fmt.Errorf("vmm: %s: no IB device bound", g.vm.Name())
+	}
+	return g.ib.WaitActive(p)
+}

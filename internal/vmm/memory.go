@@ -1,0 +1,170 @@
+package vmm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Memory is an aggregate model of guest RAM, tracked as workload-declared
+// regions rather than individual pages. Each region records how much of it
+// holds uniform (compressible) data and how fast the workload re-dirties
+// it; the migration engine derives scan and wire costs from this.
+type Memory struct {
+	totalBytes float64
+	osBytes    float64 // guest OS resident set, non-uniform
+	regions    map[string]*Region
+}
+
+// Region is a workload-visible slice of guest RAM.
+type Region struct {
+	Name  string
+	Bytes float64
+	// Uniformity is the fraction of the region's pages holding uniform
+	// data (all bytes equal), which the VMM compresses on the wire.
+	// memtest's pattern arrays are mostly uniform; NPB arrays are not.
+	Uniformity float64
+	// DirtyRate is bytes/sec the workload re-dirties while the VM runs.
+	DirtyRate float64
+
+	dirty bool // needs (re)transmission in the current migration
+}
+
+// NewMemory returns guest RAM of the given size with the OS resident set
+// already "touched" (non-uniform).
+func NewMemory(totalBytes, osBytes float64) *Memory {
+	if osBytes > totalBytes {
+		panic("vmm: OS resident set exceeds guest RAM")
+	}
+	return &Memory{
+		totalBytes: totalBytes,
+		osBytes:    osBytes,
+		regions:    make(map[string]*Region),
+	}
+}
+
+// TotalBytes returns the guest RAM size.
+func (m *Memory) TotalBytes() float64 { return m.totalBytes }
+
+// OSBytes returns the OS resident set size.
+func (m *Memory) OSBytes() float64 { return m.osBytes }
+
+// AddRegion declares a workload region. It fails if the region would not
+// fit in guest RAM alongside the OS and existing regions.
+func (m *Memory) AddRegion(name string, bytes, uniformity, dirtyRate float64) (*Region, error) {
+	if _, dup := m.regions[name]; dup {
+		return nil, fmt.Errorf("vmm: duplicate memory region %q", name)
+	}
+	if uniformity < 0 || uniformity > 1 {
+		return nil, fmt.Errorf("vmm: region %q uniformity %v outside [0,1]", name, uniformity)
+	}
+	used := m.osBytes
+	for _, r := range m.regions {
+		used += r.Bytes
+	}
+	if used+bytes > m.totalBytes {
+		return nil, fmt.Errorf("vmm: region %q (%.0f B) exceeds guest RAM (%.0f of %.0f used)",
+			name, bytes, used, m.totalBytes)
+	}
+	r := &Region{Name: name, Bytes: bytes, Uniformity: uniformity, DirtyRate: dirtyRate}
+	m.regions[name] = r
+	return r, nil
+}
+
+// Region returns a declared region by name.
+func (m *Memory) Region(name string) (*Region, bool) {
+	r, ok := m.regions[name]
+	return r, ok
+}
+
+// RemoveRegion drops a region (workload freed its arrays).
+func (m *Memory) RemoveRegion(name string) { delete(m.regions, name) }
+
+// Regions returns the declared regions sorted by name (deterministic).
+func (m *Memory) Regions() []*Region {
+	out := make([]*Region, 0, len(m.regions))
+	for _, r := range m.regions {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FootprintBytes returns the workload footprint (regions, excluding OS).
+func (m *Memory) FootprintBytes() float64 {
+	var f float64
+	for _, r := range m.regions {
+		f += r.Bytes
+	}
+	return f
+}
+
+// TouchedBytes returns all resident data (OS + regions).
+func (m *Memory) TouchedBytes() float64 { return m.osBytes + m.FootprintBytes() }
+
+// UntouchedBytes returns never-written guest RAM (true zero pages).
+func (m *Memory) UntouchedBytes() float64 { return m.totalBytes - m.TouchedBytes() }
+
+// passCosts describes one precopy pass: how many bytes must be scanned and
+// how many go on the wire uncompressed vs compressed.
+type passCosts struct {
+	scanBytes       float64 // RAM walked (full RAM on pass 1, dirty set after)
+	wireBytes       float64 // uncompressed page payloads
+	uniformPages    float64 // pages sent as compressed markers
+	transferedBytes float64 // logical guest bytes covered by this pass
+}
+
+// firstPassCosts covers the whole of guest RAM: everything is scanned;
+// untouched RAM and uniform region pages compress, the rest travels whole.
+func (m *Memory) firstPassCosts(pageBytes float64) passCosts {
+	c := passCosts{scanBytes: m.totalBytes, transferedBytes: m.totalBytes}
+	c.wireBytes = m.osBytes
+	uniformBytes := m.UntouchedBytes()
+	for _, r := range m.regions {
+		c.wireBytes += r.Bytes * (1 - r.Uniformity)
+		uniformBytes += r.Bytes * r.Uniformity
+		r.dirty = false
+	}
+	c.uniformPages = uniformBytes / pageBytes
+	return c
+}
+
+// dirtyPassCosts covers only regions re-dirtied since the previous pass.
+func (m *Memory) dirtyPassCosts(pageBytes float64) passCosts {
+	var c passCosts
+	for _, r := range m.regions {
+		if !r.dirty {
+			continue
+		}
+		c.scanBytes += r.Bytes
+		c.transferedBytes += r.Bytes
+		c.wireBytes += r.Bytes * (1 - r.Uniformity)
+		c.uniformPages += r.Bytes * r.Uniformity / pageBytes
+		r.dirty = false
+	}
+	return c
+}
+
+// accumulateDirty marks regions dirtied while a pass of the given duration
+// ran, for a workload that is still executing. running=false leaves all
+// regions clean (the Ninja case: the app is frozen in SymVirt wait).
+func (m *Memory) accumulateDirty(passSeconds float64, running bool) {
+	if !running {
+		return
+	}
+	for _, r := range m.regions {
+		if r.DirtyRate > 0 && passSeconds*r.DirtyRate > 0 {
+			r.dirty = true
+		}
+	}
+}
+
+// dirtyBytes returns the byte total of currently-dirty regions.
+func (m *Memory) dirtyBytes() float64 {
+	var d float64
+	for _, r := range m.regions {
+		if r.dirty {
+			d += r.Bytes
+		}
+	}
+	return d
+}

@@ -1,0 +1,159 @@
+package vmm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryRegionAccounting(t *testing.T) {
+	m := NewMemory(20e9, 0.3e9)
+	if m.UntouchedBytes() != 20e9-0.3e9 {
+		t.Fatalf("UntouchedBytes = %v", m.UntouchedBytes())
+	}
+	r, err := m.AddRegion("array", 2e9, 0.8, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bytes != 2e9 {
+		t.Fatalf("region bytes = %v", r.Bytes)
+	}
+	if m.FootprintBytes() != 2e9 {
+		t.Fatalf("Footprint = %v", m.FootprintBytes())
+	}
+	if m.TouchedBytes() != 2.3e9 {
+		t.Fatalf("Touched = %v", m.TouchedBytes())
+	}
+	if got, ok := m.Region("array"); !ok || got != r {
+		t.Fatal("Region lookup failed")
+	}
+	m.RemoveRegion("array")
+	if m.FootprintBytes() != 0 {
+		t.Fatal("RemoveRegion did not free")
+	}
+}
+
+func TestMemoryRegionOverflow(t *testing.T) {
+	m := NewMemory(10e9, 0.3e9)
+	if _, err := m.AddRegion("big", 9.8e9, 0, 0); err == nil {
+		t.Fatal("expected overflow error")
+	}
+	if _, err := m.AddRegion("a", 5e9, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddRegion("b", 5e9, 0, 0); err == nil {
+		t.Fatal("expected overflow on second region")
+	}
+}
+
+func TestMemoryDuplicateRegion(t *testing.T) {
+	m := NewMemory(10e9, 0)
+	m.AddRegion("x", 1e9, 0, 0)
+	if _, err := m.AddRegion("x", 1e9, 0, 0); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+}
+
+func TestMemoryBadUniformity(t *testing.T) {
+	m := NewMemory(10e9, 0)
+	if _, err := m.AddRegion("x", 1e9, 1.5, 0); err == nil {
+		t.Fatal("expected uniformity range error")
+	}
+	if _, err := m.AddRegion("y", 1e9, -0.1, 0); err == nil {
+		t.Fatal("expected uniformity range error")
+	}
+}
+
+func TestMemoryOSExceedsRAMPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMemory(1e9, 2e9)
+}
+
+func TestFirstPassCosts(t *testing.T) {
+	m := NewMemory(20e9, 0.3e9)
+	m.AddRegion("array", 2e9, 0.8, 1e9)
+	c := m.firstPassCosts(4096)
+	if c.scanBytes != 20e9 {
+		t.Fatalf("scanBytes = %v, want whole RAM", c.scanBytes)
+	}
+	// wire: OS 0.3e9 + non-uniform 20% of 2e9 = 0.7e9
+	if c.wireBytes != 0.7e9 {
+		t.Fatalf("wireBytes = %v, want 0.7e9", c.wireBytes)
+	}
+	// uniform: untouched 17.7e9 + 80% of 2e9 = 19.3e9 → pages
+	wantPages := 19.3e9 / 4096
+	if c.uniformPages != wantPages {
+		t.Fatalf("uniformPages = %v, want %v", c.uniformPages, wantPages)
+	}
+}
+
+func TestDirtyAccumulationOnlyWhenRunning(t *testing.T) {
+	m := NewMemory(20e9, 0.3e9)
+	m.AddRegion("array", 2e9, 1.0, 1e9)
+	m.firstPassCosts(4096) // clears dirty flags
+	m.accumulateDirty(10, false)
+	if m.dirtyBytes() != 0 {
+		t.Fatal("frozen app dirtied memory")
+	}
+	m.accumulateDirty(10, true)
+	if m.dirtyBytes() != 2e9 {
+		t.Fatalf("dirtyBytes = %v, want 2e9", m.dirtyBytes())
+	}
+	c := m.dirtyPassCosts(4096)
+	if c.scanBytes != 2e9 {
+		t.Fatalf("dirty pass scan = %v", c.scanBytes)
+	}
+	if m.dirtyBytes() != 0 {
+		t.Fatal("dirtyPassCosts should clear dirty flags")
+	}
+}
+
+func TestZeroDirtyRateNeverDirties(t *testing.T) {
+	m := NewMemory(20e9, 0)
+	m.AddRegion("readonly", 2e9, 0, 0)
+	m.firstPassCosts(4096)
+	m.accumulateDirty(100, true)
+	if m.dirtyBytes() != 0 {
+		t.Fatal("zero-rate region dirtied")
+	}
+}
+
+func TestRegionsSortedDeterministic(t *testing.T) {
+	m := NewMemory(20e9, 0)
+	m.AddRegion("zeta", 1e9, 0, 0)
+	m.AddRegion("alpha", 1e9, 0, 0)
+	rs := m.Regions()
+	if len(rs) != 2 || rs[0].Name != "alpha" || rs[1].Name != "zeta" {
+		t.Fatalf("Regions order: %v, %v", rs[0].Name, rs[1].Name)
+	}
+}
+
+// Property: first-pass wire + uniform-page bytes always cover exactly the
+// touched plus untouched memory (conservation of pages).
+func TestPassCoverageProperty(t *testing.T) {
+	f := func(footGB, uniPct uint8) bool {
+		foot := float64(footGB%16+1) * 1e9
+		uni := float64(uniPct%101) / 100
+		m := NewMemory(20e9, 0.3e9)
+		if _, err := m.AddRegion("r", foot, uni, 0); err != nil {
+			return true // skip invalid
+		}
+		c := m.firstPassCosts(4096)
+		covered := c.wireBytes + c.uniformPages*4096
+		return approxFloat(covered, 20e9, 1e-6) && c.transferedBytes == 20e9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func approxFloat(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol*b
+}

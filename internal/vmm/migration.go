@@ -1,0 +1,173 @@
+package vmm
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// MigrationStats records one completed live migration.
+type MigrationStats struct {
+	From, To   string
+	Start      sim.Time
+	Duration   sim.Time
+	Downtime   sim.Time
+	Iterations int
+	// ScannedBytes is guest RAM walked by the migration thread.
+	ScannedBytes float64
+	// WireBytes is what actually crossed the network (after zero-page
+	// compression).
+	WireBytes float64
+	// LogicalBytes is the guest data covered (pre-compression).
+	LogicalBytes float64
+}
+
+// Migrate starts a precopy live migration of the VM to dst. It returns an
+// error immediately if the preconditions fail:
+//
+//   - a VMM-bypass (passthrough) device is still attached — QEMU refuses,
+//     which is the core problem Ninja migration solves by detaching first;
+//   - another migration is in flight;
+//   - dst lacks memory for the guest;
+//   - source and destination do not share the image store.
+//
+// dst == current node performs a self-migration (the paper's Table II
+// methodology): the full protocol runs with a loopback transport.
+func (vm *VM) Migrate(dst *hw.Node) (*sim.Future[MigrationStats], error) {
+	if vm.migActive {
+		return nil, ErrMigrating
+	}
+	if vm.saved {
+		return nil, ErrAlreadySaved
+	}
+	if vm.Monitor().HasPassthrough() {
+		return nil, ErrHasPassthrough
+	}
+	src := vm.node
+	if dst != src {
+		if vm.store != nil && !vm.store.SharedBy(src, dst) {
+			return nil, storage.ErrNotShared
+		}
+		if err := dst.AllocMemory(vm.cfg.MemoryBytes); err != nil {
+			return nil, fmt.Errorf("vmm: migrate %s: %w", vm.Name(), err)
+		}
+	}
+	vm.migActive = true
+	fut := sim.NewFuture[MigrationStats](vm.k)
+	vm.k.Go(vm.Name()+"/migration", func(p *sim.Proc) {
+		stats := vm.runMigration(p, src, dst)
+		vm.migActive = false
+		vm.migs = append(vm.migs, stats)
+		fut.Set(stats)
+	})
+	return fut, nil
+}
+
+// rates returns the effective scan and wire rates given the optimization
+// knobs (§V: RDMA transport, multi-threaded migration).
+func (vm *VM) rates() (scanRate, netRate float64) {
+	threads := vm.params.MigrationThreads
+	if threads < 1 {
+		threads = 1
+	}
+	scanRate = vm.params.ScanRate * float64(threads)
+	netRate = vm.params.NetRate * float64(threads)
+	if vm.params.RDMAMigration {
+		// RDMA removes the per-core copy bottleneck: the wire itself is
+		// the limit, and registration-based scanning is ~4× faster.
+		scanRate = vm.params.ScanRate * 4
+		netRate = 0 // uncapped: link speed governs
+	}
+	return scanRate, netRate
+}
+
+func (vm *VM) runMigration(p *sim.Proc, src, dst *hw.Node) MigrationStats {
+	stats := MigrationStats{From: src.Name, To: dst.Name, Start: p.Now()}
+	params := vm.params
+	scanRate, netRate := vm.rates()
+
+	var wirePath []*fabric.Link
+	if dst != src {
+		// The migration stream rides the management Ethernet, including
+		// any WAN trunks between data centers (where concurrent
+		// migrations contend — the §V scalability concern).
+		wirePath = fabric.Path(src.NIC.Adapter(), dst.NIC.Adapter())
+	}
+	net := src.NIC.Segment().Network()
+
+	p.Sleep(params.MigrationSetup)
+
+	onePass := func(c passCosts) {
+		// The single migration thread alternates between walking RAM
+		// (CPU-bound) and pushing page data (wire/CPU-bound), so the two
+		// costs are additive.
+		if c.scanBytes > 0 {
+			src.CPU.Serve(p, c.scanBytes/scanRate)
+		}
+		wire := c.wireBytes + c.uniformPages*params.UniformPageWireBytes
+		if wire > 0 {
+			net.Transfer(p, wirePath, wire, netRate)
+		}
+		stats.ScannedBytes += c.scanBytes
+		stats.WireBytes += wire
+		stats.LogicalBytes += c.transferedBytes
+	}
+
+	appRunning := func() bool { return vm.state == Running && !vm.guest.appFrozen }
+
+	costs := vm.mem.firstPassCosts(params.PageBytes)
+	for {
+		stats.Iterations++
+		passStart := p.Now()
+		onePass(costs)
+		vm.mem.accumulateDirty((p.Now() - passStart).Seconds(), appRunning())
+
+		dirty := vm.mem.dirtyBytes()
+		estDowntime := sim.FromSeconds(dirty / netRateOrWire(netRate, src))
+		if dirty <= 0 || estDowntime <= params.DowntimeLimit ||
+			stats.Iterations >= params.MaxIterations {
+			break
+		}
+		costs = vm.mem.dirtyPassCosts(params.PageBytes)
+	}
+
+	// Stop-and-copy: halt the vCPUs, drain the remaining dirty set,
+	// switch hosts, resume.
+	downStart := p.Now()
+	wasRunning := vm.state == Running
+	vm.Stop()
+	if final := vm.mem.dirtyPassCosts(params.PageBytes); final.scanBytes > 0 {
+		onePass(final)
+	}
+	vm.switchHost(src, dst)
+	if wasRunning {
+		vm.Cont()
+	}
+	stats.Downtime = p.Now() - downStart
+	stats.Duration = p.Now() - stats.Start
+	return stats
+}
+
+// netRateOrWire returns the effective drain rate used for the downtime
+// estimate: the capped rate, or the physical NIC speed when uncapped.
+func netRateOrWire(netRate float64, src *hw.Node) float64 {
+	if netRate > 0 {
+		return netRate
+	}
+	return src.NIC.Adapter().UpLink().Bandwidth
+}
+
+// switchHost moves the VM's residency: host memory accounting, the virtio
+// backend bridge, and the node pointer. The guest's IP is preserved (one
+// L2 segment spans the enclosure), exactly as in the paper's testbed.
+func (vm *VM) switchHost(src, dst *hw.Node) {
+	if src == dst {
+		return
+	}
+	src.FreeMemory(vm.cfg.MemoryBytes)
+	vm.vnic.SetUplink(dst.NIC)
+	vm.node = dst
+}

@@ -1,0 +1,242 @@
+package vmm
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// migrate runs a migration to dst and returns the stats.
+func migrate(t *testing.T, r *testRig, dst *hw.Node) MigrationStats {
+	t.Helper()
+	var stats MigrationStats
+	r.k.Go("drive", func(p *sim.Proc) {
+		fut, err := r.vm.Migrate(dst)
+		if err != nil {
+			t.Errorf("Migrate: %v", err)
+			return
+		}
+		stats = fut.Wait(p)
+	})
+	r.k.Run()
+	return stats
+}
+
+func TestMigrationIdleGuestScanDominated(t *testing.T) {
+	// Idle 20 GB guest, frozen app: one pass, scan-dominated.
+	r := newTestRig(t, false, 20)
+	r.vm.Guest().SetAppFrozen(true)
+	stats := migrate(t, r, r.eth.Nodes[0])
+	p := DefaultParams()
+	scan := sim.FromSeconds(20 * hw.GB / p.ScanRate)
+	wire := sim.FromSeconds(p.OSResidentBytes / p.NetRate)
+	want := p.MigrationSetup + scan + wire
+	if !approxT(stats.Duration, want, 0.05) {
+		t.Fatalf("duration = %v, want ≈%v", stats.Duration, want)
+	}
+	if stats.Iterations != 1 {
+		t.Fatalf("iterations = %d, want 1 (nothing re-dirtied)", stats.Iterations)
+	}
+	if r.vm.Node() != r.eth.Nodes[0] {
+		t.Fatal("VM did not move")
+	}
+}
+
+func TestMigrationHostAccounting(t *testing.T) {
+	r := newTestRig(t, false, 20)
+	src, dst := r.ib.Nodes[0], r.eth.Nodes[0]
+	if src.MemoryUsed() != 20*hw.GB {
+		t.Fatalf("src mem used = %v", src.MemoryUsed())
+	}
+	migrate(t, r, dst)
+	if src.MemoryUsed() != 0 {
+		t.Fatalf("src mem not freed: %v", src.MemoryUsed())
+	}
+	if dst.MemoryUsed() != 20*hw.GB {
+		t.Fatalf("dst mem not charged: %v", dst.MemoryUsed())
+	}
+	if r.vm.VNIC().Uplink() != dst.NIC {
+		t.Fatal("virtio uplink not re-pointed at destination NIC")
+	}
+}
+
+func TestMigrationGrowsWithNonUniformFootprint(t *testing.T) {
+	// A mostly-uniform memtest-like region: migration time must grow
+	// sub-linearly (scan + 18% of footprint on the wire).
+	durFor := func(footGB float64) sim.Time {
+		r := newTestRig(t, false, 20)
+		r.vm.Memory().AddRegion("memtest", footGB*hw.GB, 0.82, 1.5e9)
+		r.vm.Guest().SetAppFrozen(true)
+		return migrate(t, r, r.eth.Nodes[0]).Duration
+	}
+	d2, d16 := durFor(2), durFor(16)
+	if d16 <= d2 {
+		t.Fatalf("16 GB (%v) not slower than 2 GB (%v)", d16, d2)
+	}
+	// Sub-linear: 8× footprint must NOT be ≈8× time; expect <2×.
+	if float64(d16)/float64(d2) > 2.0 {
+		t.Fatalf("migration ∝ footprint: d2=%v d16=%v (zero-page compression missing?)", d2, d16)
+	}
+}
+
+func TestMigrationRunningWorkloadIterates(t *testing.T) {
+	// A running workload re-dirties its region, forcing extra precopy
+	// rounds up to MaxIterations.
+	r := newTestRig(t, false, 20)
+	r.vm.Memory().AddRegion("hot", 2*hw.GB, 0.82, 1.5e9)
+	// App NOT frozen: dirty accumulation active.
+	stats := migrate(t, r, r.eth.Nodes[0])
+	if stats.Iterations != DefaultParams().MaxIterations {
+		t.Fatalf("iterations = %d, want MaxIterations=%d", stats.Iterations, DefaultParams().MaxIterations)
+	}
+	if stats.Downtime <= 0 {
+		t.Fatal("expected non-zero stop-and-copy downtime")
+	}
+	// The uncoordinated migration's downtime must dwarf the coordinated
+	// one's (which transfers nothing in stop-and-copy).
+	if stats.Downtime < sim.Second {
+		t.Fatalf("downtime = %v, expected seconds-scale for non-converging workload", stats.Downtime)
+	}
+}
+
+func TestFrozenAppMinimalDowntime(t *testing.T) {
+	r := newTestRig(t, false, 20)
+	r.vm.Memory().AddRegion("hot", 2*hw.GB, 0.82, 1.5e9)
+	r.vm.Guest().SetAppFrozen(true)
+	stats := migrate(t, r, r.eth.Nodes[0])
+	if stats.Downtime > 10*sim.Millisecond {
+		t.Fatalf("downtime = %v, want ≈0 for frozen app", stats.Downtime)
+	}
+}
+
+func TestSelfMigration(t *testing.T) {
+	// Table II methodology: migrate to the same physical node.
+	r := newTestRig(t, false, 20)
+	src := r.ib.Nodes[0]
+	stats := migrate(t, r, src)
+	if r.vm.Node() != src {
+		t.Fatal("self-migration moved the VM")
+	}
+	if src.MemoryUsed() != 20*hw.GB {
+		t.Fatalf("self-migration corrupted memory accounting: %v", src.MemoryUsed())
+	}
+	if stats.Duration <= 0 {
+		t.Fatal("self-migration should still take time (full protocol)")
+	}
+}
+
+func TestConcurrentMigrationRefused(t *testing.T) {
+	r := newTestRig(t, false, 20)
+	r.k.Go("drive", func(p *sim.Proc) {
+		fut, err := r.vm.Migrate(r.eth.Nodes[0])
+		if err != nil {
+			t.Errorf("first Migrate: %v", err)
+			return
+		}
+		if _, err := r.vm.Migrate(r.eth.Nodes[1]); err != ErrMigrating {
+			t.Errorf("second Migrate err = %v, want ErrMigrating", err)
+		}
+		fut.Wait(p)
+	})
+	r.k.Run()
+}
+
+func TestMigrationStatsRecorded(t *testing.T) {
+	r := newTestRig(t, false, 20)
+	migrate(t, r, r.eth.Nodes[0])
+	migs := r.vm.Migrations()
+	if len(migs) != 1 {
+		t.Fatalf("recorded %d migrations, want 1", len(migs))
+	}
+	m := migs[0]
+	if m.From != r.ib.Nodes[0].Name || m.To != r.eth.Nodes[0].Name {
+		t.Fatalf("from/to = %s/%s", m.From, m.To)
+	}
+	if m.ScannedBytes < 20*hw.GB {
+		t.Fatalf("scanned = %v, want ≥ guest RAM", m.ScannedBytes)
+	}
+	if m.WireBytes <= 0 || m.WireBytes >= 20*hw.GB {
+		t.Fatalf("wire bytes = %v, want compressed (0, 20GB)", m.WireBytes)
+	}
+}
+
+func TestRDMAMigrationFaster(t *testing.T) {
+	// §V optimization: RDMA transport removes the 1.3 Gbps CPU cap.
+	run := func(rdma bool) sim.Time {
+		k := sim.NewKernel()
+		tb := hw.NewTestbed(k)
+		ib := tb.AddCluster("ib", 2, hw.AGCNodeSpec)
+		params := DefaultParams()
+		params.RDMAMigration = rdma
+		vm, err := New(k, ib.Nodes[0], tb.Segment, Config{Name: "vm", VCPUs: 8, MemoryBytes: 20 * hw.GB}, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm.Memory().AddRegion("data", 8*hw.GB, 0.0, 0) // non-uniform: wire-bound
+		vm.Guest().SetAppFrozen(true)
+		var dur sim.Time
+		k.Go("drive", func(p *sim.Proc) {
+			fut, err := vm.Migrate(ib.Nodes[1])
+			if err != nil {
+				t.Errorf("Migrate: %v", err)
+				return
+			}
+			dur = fut.Wait(p).Duration
+		})
+		k.Run()
+		return dur
+	}
+	tcp, rdma := run(false), run(true)
+	if float64(tcp)/float64(rdma) < 2 {
+		t.Fatalf("RDMA migration (%v) not ≥2× faster than TCP (%v)", rdma, tcp)
+	}
+}
+
+func TestComputeFollowsVMAcrossMigration(t *testing.T) {
+	// Guest compute started before migration must complete on the new
+	// host, and a stopped VM must not compute.
+	r := newTestRig(t, false, 20)
+	var finished sim.Time
+	r.k.Go("work", func(p *sim.Proc) {
+		r.vm.Compute(p, 200) // 200 core-seconds
+		finished = p.Now()
+	})
+	r.k.Go("drive", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Second)
+		fut, err := r.vm.Migrate(r.eth.Nodes[0])
+		if err != nil {
+			t.Errorf("Migrate: %v", err)
+			return
+		}
+		fut.Wait(p)
+	})
+	r.k.Run()
+	if finished <= 0 {
+		t.Fatal("compute never finished")
+	}
+	if r.vm.Node() != r.eth.Nodes[0] {
+		t.Fatal("VM did not move")
+	}
+}
+
+func TestStopGateBlocksCompute(t *testing.T) {
+	r := newTestRig(t, false, 20)
+	r.vm.Stop()
+	var finished sim.Time = -1
+	r.k.Go("work", func(p *sim.Proc) {
+		r.vm.Compute(p, 5)
+		finished = p.Now()
+	})
+	r.k.Schedule(100*sim.Second, func() { r.vm.Cont() })
+	r.k.Run()
+	if finished < 100*sim.Second {
+		t.Fatalf("compute finished at %v despite stopped VM", finished)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Running.String() != "running" || Stopped.String() != "paused" {
+		t.Fatal("State.String broken")
+	}
+}

@@ -1,0 +1,71 @@
+package vmm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/pci"
+	"repro/internal/sim"
+)
+
+// Monitor is the VM's QMP-like control interface. SymVirt agents connect
+// here and issue the same command vocabulary as the paper's Python agents:
+// device_add, device_del, migrate, stop, cont, query-status.
+type Monitor struct{ vm *VM }
+
+// Monitor returns the VM's monitor interface.
+func (vm *VM) Monitor() *Monitor { return &Monitor{vm: vm} }
+
+// ErrNoSuchDevice is returned when a tag does not match any function.
+var ErrNoSuchDevice = errors.New("vmm: no such device")
+
+// VM returns the monitored VM.
+func (m *Monitor) VM() *VM { return m.vm }
+
+// QueryStatus returns the QMP run state string.
+func (m *Monitor) QueryStatus() string { return m.vm.state.String() }
+
+// Stop halts the vCPUs.
+func (m *Monitor) Stop() { m.vm.Stop() }
+
+// Cont resumes the vCPUs.
+func (m *Monitor) Cont() { m.vm.Cont() }
+
+// DeviceDel hot-unplugs the device with the given tag (e.g. "vf0"). The
+// future resolves with the removed function once the guest has released it.
+func (m *Monitor) DeviceDel(tag string) (*sim.Future[*pci.Function], error) {
+	slot, _, ok := m.vm.bus.FindByTag(tag)
+	if !ok {
+		return nil, fmt.Errorf("%w: tag %q", ErrNoSuchDevice, tag)
+	}
+	return m.vm.bus.Remove(slot)
+}
+
+// DeviceAdd hot-plugs the host node's IB HCA into the VM under the given
+// tag, using the host PCI ID supplied by the cloud scheduler (the paper's
+// scripts pass e.g. host="04:00.0", tag="vf0").
+func (m *Monitor) DeviceAdd(tag, hostID string) (*sim.Future[struct{}], error) {
+	hca := m.vm.node.HCA
+	if hca == nil {
+		return nil, fmt.Errorf("%w: host %s has no HCA at %s", ErrNoSuchDevice, m.vm.node.Name, hostID)
+	}
+	return m.vm.bus.Add(HCASlot, m.vm.HCAFunction(hca, tag, hostID))
+}
+
+// HasPassthrough reports whether a VMM-bypass device is currently attached
+// — the condition that makes live migration impossible (§I).
+func (m *Monitor) HasPassthrough() bool {
+	for _, slot := range m.vm.bus.Slots() {
+		if m.vm.bus.At(slot).Class == pci.ClassIBHCA {
+			return true
+		}
+	}
+	return false
+}
+
+// Migrate starts a precopy live migration to dst and returns a future
+// resolving with the migration statistics.
+func (m *Monitor) Migrate(dst *hw.Node) (*sim.Future[MigrationStats], error) {
+	return m.vm.Migrate(dst)
+}

@@ -1,0 +1,129 @@
+// Package vmm models a QEMU/KVM-like virtual machine monitor: VMs with
+// vCPUs and guest RAM, a guest OS with PCI hotplug drivers, a QMP-style
+// monitor command interface, and precopy live migration with zero-page
+// compression. It is the substrate SymVirt/Ninja migration drives.
+package vmm
+
+import "repro/internal/sim"
+
+// Params are the VMM cost-model constants. Defaults are calibrated against
+// the paper's measurements (QEMU/KVM 1.1-rc3 on the AGC cluster); see
+// EXPERIMENTS.md for the calibration notes.
+type Params struct {
+	// MigrationSetup is the fixed cost of starting a migration (monitor
+	// round trips, socket setup, destination QEMU launch handshake).
+	MigrationSetup sim.Time
+
+	// ScanRate is how fast the single-threaded migration loop walks guest
+	// RAM checking the dirty bitmap and testing pages for uniformity
+	// (bytes/sec of guest RAM scanned). The paper observes the whole 20 GB
+	// guest is traversed in roughly 30 s → ≈0.6 GB/s.
+	ScanRate float64
+
+	// NetRate is the effective wire throughput of the migration thread for
+	// non-uniform page data. The paper measures <1.3 Gbit/s on a 10 GbE
+	// link because one CPU core saturates (§V) → 0.1625 GB/s.
+	NetRate float64
+
+	// UniformPageWireBytes is what a compressed uniform ("zero") page
+	// costs on the wire (QEMU sends a 1-byte marker plus header per page).
+	UniformPageWireBytes float64
+
+	// PageBytes is the guest page size.
+	PageBytes float64
+
+	// MaxIterations caps precopy rounds before forcing stop-and-copy.
+	MaxIterations int
+
+	// DowntimeLimit is the target maximum stop-and-copy pause; precopy
+	// converges when the remaining dirty set can be sent within it.
+	DowntimeLimit sim.Time
+
+	// MigrationCPUJobs is how many host-CPU-core-equivalents the migration
+	// machinery occupies while active (the QEMU migration thread plus
+	// dirty-bitmap syncing in the main loop). It both consumes host CPU
+	// and determines hotplug slowdown under migration noise (Fig. 6 shows
+	// hotplug ≈3× slower during migration → 2 noise jobs + the hotplug
+	// work itself sharing the management path).
+	MigrationCPUJobs int
+
+	// HotplugNoiseFactor stretches PCI hotplug work that overlaps an
+	// active migration on the same VM (Fig. 6 vs Table II: ≈3×).
+	HotplugNoiseFactor float64
+
+	// IBProbeTime is the guest mlx4 driver probe cost on device_add
+	// and IBUnbindTime the teardown on device_del. Together with the
+	// host-side VFIO costs these reproduce the Table II hotplug times.
+	IBProbeTime  sim.Time
+	IBUnbindTime sim.Time
+	// IBHostAttach/IBHostDetach are the VMM-side VFIO/IOMMU costs.
+	IBHostAttach sim.Time
+	IBHostDetach sim.Time
+
+	// VirtioProbeTime/VirtioUnbindTime and the host-side equivalents are
+	// the same costs for a para-virtualized NIC (much cheaper: no IOMMU,
+	// no firmware handshake).
+	VirtioProbeTime  sim.Time
+	VirtioUnbindTime sim.Time
+	VirtioHostAttach sim.Time
+	VirtioHostDetach sim.Time
+
+	// ConfirmTime is the SymVirt script's per-phase confirmation overhead
+	// (QMP round trips, wait_all bookkeeping) counted into "hotplug" in
+	// the paper's breakdown.
+	ConfirmTime sim.Time
+
+	// VirtioCPUCostPerByte is host CPU work per byte of virtio traffic
+	// (vhost): ≈1 core saturates at ~0.5 GB/s on the paper's Nehalems.
+	VirtioCPUCostPerByte float64
+
+	// VirtioBandwidth is the vNIC's own ring throughput ceiling.
+	VirtioBandwidth float64
+
+	// OSResidentBytes is the guest OS's non-uniform resident set, sent
+	// uncompressed on migration even for an otherwise idle guest.
+	OSResidentBytes float64
+
+	// IBPrewarmedAttach models a §V-style optimization: the host keeps
+	// the HCA port trained and hands it to the guest without a driver
+	// reset on hot-attach, eliminating the ≈30 s link-up wait. (The paper
+	// flags the link-up cost as its main open issue.)
+	IBPrewarmedAttach bool
+
+	// RDMAMigration, when true, models the §V optimization: the migration
+	// transport uses RDMA, removing the single-core CPU bottleneck
+	// (NetRate rises to wire speed and scanning parallelizes 4×).
+	RDMAMigration bool
+
+	// MigrationThreads models multi-threaded migration (§V): scan and
+	// send rates scale with the thread count.
+	MigrationThreads int
+}
+
+// DefaultParams returns the calibrated QEMU/KVM 1.1 cost model.
+func DefaultParams() Params {
+	return Params{
+		MigrationSetup:       100 * sim.Millisecond,
+		ScanRate:             0.62e9,
+		NetRate:              0.1625e9, // 1.3 Gbit/s
+		UniformPageWireBytes: 9,
+		PageBytes:            4096,
+		MaxIterations:        2,
+		DowntimeLimit:        30 * sim.Millisecond,
+		MigrationCPUJobs:     2,
+		HotplugNoiseFactor:   3.0,
+		IBProbeTime:          1050 * sim.Millisecond,
+		IBUnbindTime:         2500 * sim.Millisecond,
+		IBHostAttach:         60 * sim.Millisecond,
+		IBHostDetach:         180 * sim.Millisecond,
+		VirtioProbeTime:      45 * sim.Millisecond,
+		VirtioUnbindTime:     60 * sim.Millisecond,
+		VirtioHostAttach:     10 * sim.Millisecond,
+		VirtioHostDetach:     15 * sim.Millisecond,
+		ConfirmTime:          25 * sim.Millisecond,
+		VirtioCPUCostPerByte: 1.0 / 0.5e9,
+		VirtioBandwidth:      1.25e9,
+		OSResidentBytes:      0.3e9,
+		MigrationThreads:     1,
+	}
+}

@@ -1,0 +1,176 @@
+package vmm
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/pci"
+	"repro/internal/sim"
+)
+
+// QMP is a JSON wire-protocol front end to the Monitor — the QEMU Monitor
+// Protocol the paper's SymVirt agents connect to ("Each agent communicates
+// with a QEMU process via the QEMU Monitor Protocol (QMP)"). Commands are
+// JSON objects {"execute": ..., "arguments": {...}}; asynchronous
+// completions surface as events, exactly like QEMU's DEVICE_DELETED and
+// MIGRATION events.
+type QMP struct {
+	mon    *Monitor
+	events []QMPEvent
+	cond   *sim.Cond
+}
+
+// QMPCommand is a decoded request.
+type QMPCommand struct {
+	Execute   string          `json:"execute"`
+	Arguments json.RawMessage `json:"arguments,omitempty"`
+	ID        any             `json:"id,omitempty"`
+}
+
+// QMPResponse is the reply envelope.
+type QMPResponse struct {
+	Return any       `json:"return,omitempty"`
+	Error  *QMPError `json:"error,omitempty"`
+	ID     any       `json:"id,omitempty"`
+}
+
+// QMPError mirrors QEMU's error object.
+type QMPError struct {
+	Class string `json:"class"`
+	Desc  string `json:"desc"`
+}
+
+// QMPEvent is an asynchronous notification.
+type QMPEvent struct {
+	Event string         `json:"event"`
+	Data  map[string]any `json:"data,omitempty"`
+	// Timestamp is the simulated time the event fired.
+	Timestamp sim.Time `json:"-"`
+}
+
+// QMP returns the VM's QMP server (one per VM: agents connecting later
+// still see earlier sessions' pending events, like a QEMU monitor socket).
+func (vm *VM) QMP() *QMP {
+	if vm.qmp == nil {
+		vm.qmp = &QMP{mon: vm.Monitor(), cond: sim.NewCond(vm.k)}
+	}
+	return vm.qmp
+}
+
+// Events drains the queued asynchronous events.
+func (q *QMP) Events() []QMPEvent {
+	evs := q.events
+	q.events = nil
+	return evs
+}
+
+// WaitEvent blocks until an event with the given name is queued, consumes
+// it, and returns it. Other queued events are left untouched.
+func (q *QMP) WaitEvent(p *sim.Proc, name string) QMPEvent {
+	for {
+		for i, ev := range q.events {
+			if ev.Event == name {
+				q.events = append(q.events[:i], q.events[i+1:]...)
+				return ev
+			}
+		}
+		q.cond.Wait(p)
+	}
+}
+
+func (q *QMP) emit(name string, data map[string]any) {
+	q.events = append(q.events, QMPEvent{Event: name, Data: data, Timestamp: q.mon.vm.k.Now()})
+	q.cond.Broadcast()
+}
+
+func qmpErr(id any, class, desc string) []byte {
+	out, _ := json.Marshal(QMPResponse{Error: &QMPError{Class: class, Desc: desc}, ID: id})
+	return out
+}
+
+func qmpOK(id any, ret any) []byte {
+	if ret == nil {
+		ret = map[string]any{}
+	}
+	out, _ := json.Marshal(QMPResponse{Return: ret, ID: id})
+	return out
+}
+
+// Execute decodes and runs one QMP command, returning the JSON response.
+// Asynchronous commands (device_del, device_add) return immediately and
+// emit DEVICE_DELETED / NINJA_DEVICE_ADDED events on completion.
+func (q *QMP) Execute(raw []byte) []byte {
+	var cmd QMPCommand
+	if err := json.Unmarshal(raw, &cmd); err != nil {
+		return qmpErr(nil, "GenericError", "invalid JSON: "+err.Error())
+	}
+	switch cmd.Execute {
+	case "query-status":
+		return qmpOK(cmd.ID, map[string]any{
+			"status":  q.mon.QueryStatus(),
+			"running": q.mon.VM().State() == Running,
+		})
+	case "stop":
+		q.mon.Stop()
+		return qmpOK(cmd.ID, nil)
+	case "cont":
+		q.mon.Cont()
+		return qmpOK(cmd.ID, nil)
+	case "device_del":
+		var args struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(cmd.Arguments, &args); err != nil || args.ID == "" {
+			return qmpErr(cmd.ID, "GenericError", "device_del needs an id")
+		}
+		fut, err := q.mon.DeviceDel(args.ID)
+		if err != nil {
+			return qmpErr(cmd.ID, "DeviceNotFound", err.Error())
+		}
+		fut.OnDone(func(*pci.Function) {
+			q.emit("DEVICE_DELETED", map[string]any{"device": args.ID})
+		})
+		return qmpOK(cmd.ID, nil)
+	case "device_add":
+		var args struct {
+			Driver string `json:"driver"`
+			Host   string `json:"host"`
+			ID     string `json:"id"`
+		}
+		if err := json.Unmarshal(cmd.Arguments, &args); err != nil || args.ID == "" {
+			return qmpErr(cmd.ID, "GenericError", "device_add needs an id")
+		}
+		fut, err := q.mon.DeviceAdd(args.ID, args.Host)
+		if err != nil {
+			return qmpErr(cmd.ID, "DeviceNotFound", err.Error())
+		}
+		fut.OnDone(func(struct{}) {
+			q.emit("NINJA_DEVICE_ADDED", map[string]any{"device": args.ID, "host": args.Host})
+		})
+		return qmpOK(cmd.ID, nil)
+	case "query-migrate":
+		vm := q.mon.VM()
+		status := "none"
+		if vm.Migrating() {
+			status = "active"
+		} else if len(vm.Migrations()) > 0 {
+			status = "completed"
+		}
+		ret := map[string]any{"status": status}
+		if n := len(vm.Migrations()); n > 0 && !vm.Migrating() {
+			last := vm.Migrations()[n-1]
+			ret["ram"] = map[string]any{
+				"transferred": last.WireBytes,
+				"total":       vm.Memory().TotalBytes(),
+				"downtime-ms": last.Downtime.Milliseconds(),
+			}
+		}
+		return qmpOK(cmd.ID, ret)
+	default:
+		return qmpErr(cmd.ID, "CommandNotFound",
+			fmt.Sprintf("The command %s has not been found", cmd.Execute))
+	}
+}
+
+// ExecuteString is Execute on a string command (test convenience).
+func (q *QMP) ExecuteString(s string) string { return string(q.Execute([]byte(s))) }

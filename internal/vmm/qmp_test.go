@@ -1,0 +1,122 @@
+package vmm
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestQMPQueryStatus(t *testing.T) {
+	r := newTestRig(t, false, 20)
+	q := r.vm.QMP()
+	out := q.ExecuteString(`{"execute":"query-status","id":7}`)
+	var resp QMPResponse
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != nil {
+		t.Fatalf("error: %+v", resp.Error)
+	}
+	ret := resp.Return.(map[string]any)
+	if ret["status"] != "running" || ret["running"] != true {
+		t.Fatalf("ret = %v", ret)
+	}
+	if resp.ID != float64(7) {
+		t.Fatalf("id echo = %v", resp.ID)
+	}
+}
+
+func TestQMPStopCont(t *testing.T) {
+	r := newTestRig(t, false, 20)
+	q := r.vm.QMP()
+	q.ExecuteString(`{"execute":"stop"}`)
+	if r.vm.State() != Stopped {
+		t.Fatal("stop did not stop")
+	}
+	q.ExecuteString(`{"execute":"cont"}`)
+	if r.vm.State() != Running {
+		t.Fatal("cont did not resume")
+	}
+}
+
+func TestQMPDeviceDelAndEvent(t *testing.T) {
+	r := newTestRig(t, true, 20)
+	q := r.vm.QMP()
+	out := q.ExecuteString(`{"execute":"device_del","arguments":{"id":"vf0"}}`)
+	if strings.Contains(out, "error") {
+		t.Fatalf("device_del: %s", out)
+	}
+	if len(q.Events()) != 0 {
+		t.Fatal("event fired before the unplug completed")
+	}
+	r.k.Run() // let the hotplug finish
+	evs := q.Events()
+	if len(evs) != 1 || evs[0].Event != "DEVICE_DELETED" || evs[0].Data["device"] != "vf0" {
+		t.Fatalf("events = %+v", evs)
+	}
+	if r.vm.Monitor().HasPassthrough() {
+		t.Fatal("device still attached")
+	}
+}
+
+func TestQMPDeviceDelUnknown(t *testing.T) {
+	r := newTestRig(t, false, 20)
+	out := r.vm.QMP().ExecuteString(`{"execute":"device_del","arguments":{"id":"nope"}}`)
+	if !strings.Contains(out, "DeviceNotFound") {
+		t.Fatalf("out = %s", out)
+	}
+}
+
+func TestQMPDeviceAddRoundTrip(t *testing.T) {
+	r := newTestRig(t, true, 20)
+	q := r.vm.QMP()
+	q.ExecuteString(`{"execute":"device_del","arguments":{"id":"vf0"}}`)
+	r.k.Run()
+	q.Events()
+	out := q.ExecuteString(`{"execute":"device_add","arguments":{"driver":"vfio-pci","host":"04:00.0","id":"vf0"}}`)
+	if strings.Contains(out, "error") {
+		t.Fatalf("device_add: %s", out)
+	}
+	r.k.Run()
+	evs := q.Events()
+	if len(evs) != 1 || evs[0].Event != "NINJA_DEVICE_ADDED" {
+		t.Fatalf("events = %+v", evs)
+	}
+	if !r.vm.Monitor().HasPassthrough() {
+		t.Fatal("device not attached")
+	}
+}
+
+func TestQMPQueryMigrate(t *testing.T) {
+	r := newTestRig(t, false, 20)
+	q := r.vm.QMP()
+	out := q.ExecuteString(`{"execute":"query-migrate"}`)
+	if !strings.Contains(out, `"status":"none"`) {
+		t.Fatalf("pre-migration: %s", out)
+	}
+	migrate(t, r, r.eth.Nodes[0])
+	out = q.ExecuteString(`{"execute":"query-migrate"}`)
+	if !strings.Contains(out, `"status":"completed"`) {
+		t.Fatalf("post-migration: %s", out)
+	}
+	var resp QMPResponse
+	json.Unmarshal([]byte(out), &resp)
+	ram := resp.Return.(map[string]any)["ram"].(map[string]any)
+	if ram["transferred"].(float64) <= 0 {
+		t.Fatalf("ram stats = %v", ram)
+	}
+}
+
+func TestQMPBadJSONAndUnknownCommand(t *testing.T) {
+	r := newTestRig(t, false, 20)
+	q := r.vm.QMP()
+	if out := q.ExecuteString(`{not json`); !strings.Contains(out, "GenericError") {
+		t.Fatalf("bad json: %s", out)
+	}
+	if out := q.ExecuteString(`{"execute":"frobnicate"}`); !strings.Contains(out, "CommandNotFound") {
+		t.Fatalf("unknown: %s", out)
+	}
+	if out := q.ExecuteString(`{"execute":"device_del","arguments":{}}`); !strings.Contains(out, "GenericError") {
+		t.Fatalf("missing id: %s", out)
+	}
+}

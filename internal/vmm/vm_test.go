@@ -1,0 +1,200 @@
+package vmm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/hw"
+	"repro/internal/pci"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func approxT(a, b sim.Time, tolFrac float64) bool {
+	if b == 0 {
+		return a < 10*sim.Millisecond
+	}
+	diff := math.Abs(float64(a - b))
+	return diff <= tolFrac*math.Abs(float64(b))+float64(10*sim.Millisecond)
+}
+
+// testRig builds a 2+2 node testbed with a shared store and returns a VM
+// on the first IB node (with boot-attached HCA when attach is true).
+type testRig struct {
+	k     *sim.Kernel
+	tb    *hw.Testbed
+	ib    *hw.Cluster
+	eth   *hw.Cluster
+	store *storage.NFS
+	vm    *VM
+}
+
+func newTestRig(t *testing.T, attach bool, memGB float64) *testRig {
+	t.Helper()
+	k := sim.NewKernel()
+	tb := hw.NewTestbed(k)
+	ib := tb.AddCluster("ib", 2, hw.AGCNodeSpec)
+	ethSpec := hw.AGCNodeSpec
+	ethSpec.IBBandwidth = 0
+	eth := tb.AddCluster("eth", 2, ethSpec)
+	store := storage.NewNFS("nfs0")
+	store.MountAll(ib, eth)
+	vm, err := New(k, ib.Nodes[0], tb.Segment, Config{
+		Name: "vm0", VCPUs: 8, MemoryBytes: memGB * hw.GB,
+	}, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.SetStorage(store)
+	if attach {
+		if err := vm.AttachBootHCA(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.RunUntil(fabric.DefaultIBTrainingTime + sim.Second) // host links train
+	return &testRig{k: k, tb: tb, ib: ib, eth: eth, store: store, vm: vm}
+}
+
+func TestBootAttachNoRetraining(t *testing.T) {
+	r := newTestRig(t, true, 20)
+	if !r.vm.Guest().IBUsable() {
+		t.Fatal("boot-attached HCA not usable (link should be pre-trained)")
+	}
+	if !r.vm.Monitor().HasPassthrough() {
+		t.Fatal("HasPassthrough = false with HCA attached")
+	}
+}
+
+func TestMigrateRefusedWithPassthrough(t *testing.T) {
+	r := newTestRig(t, true, 20)
+	if _, err := r.vm.Migrate(r.eth.Nodes[0]); err != ErrHasPassthrough {
+		t.Fatalf("err = %v, want ErrHasPassthrough", err)
+	}
+}
+
+func TestMigrateRefusedWithoutSharedStorage(t *testing.T) {
+	r := newTestRig(t, false, 20)
+	r.store.Unmount(r.eth.Nodes[0])
+	if _, err := r.vm.Migrate(r.eth.Nodes[0]); err != storage.ErrNotShared {
+		t.Fatalf("err = %v, want ErrNotShared", err)
+	}
+}
+
+func TestMigrateRefusedWhenDestinationFull(t *testing.T) {
+	r := newTestRig(t, false, 20)
+	// Fill the destination.
+	if err := r.eth.Nodes[0].AllocMemory(40 * hw.GB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.vm.Migrate(r.eth.Nodes[0]); err == nil {
+		t.Fatal("expected destination-memory error")
+	}
+}
+
+func TestHotplugDetachAttachCycle(t *testing.T) {
+	r := newTestRig(t, true, 20)
+	mon := r.vm.Monitor()
+	var detachDur, attachDur, linkupDur sim.Time
+	r.k.Go("cycle", func(p *sim.Proc) {
+		start := p.Now()
+		fut, err := mon.DeviceDel("vf0")
+		if err != nil {
+			t.Errorf("DeviceDel: %v", err)
+			return
+		}
+		fut.Wait(p)
+		detachDur = p.Now() - start
+		if mon.HasPassthrough() {
+			t.Error("passthrough still present after detach")
+		}
+		if r.vm.Guest().IBUsable() {
+			t.Error("guest still sees IB device")
+		}
+
+		start = p.Now()
+		afut, err := mon.DeviceAdd("vf0", "04:00.0")
+		if err != nil {
+			t.Errorf("DeviceAdd: %v", err)
+			return
+		}
+		afut.Wait(p)
+		attachDur = p.Now() - start
+
+		start = p.Now()
+		if err := r.vm.Guest().WaitIBLinkup(p); err != nil {
+			t.Errorf("WaitIBLinkup: %v", err)
+		}
+		linkupDur = p.Now() - start
+	})
+	r.k.Run()
+	p := DefaultParams()
+	if !approxT(detachDur, p.IBUnbindTime+p.IBHostDetach, 0.01) {
+		t.Fatalf("detach took %v", detachDur)
+	}
+	if !approxT(attachDur, p.IBProbeTime+p.IBHostAttach, 0.01) {
+		t.Fatalf("attach took %v", attachDur)
+	}
+	// Link-up ≈ training time minus the probe overlap; must be ≈30 s.
+	if linkupDur < 28*sim.Second || linkupDur > 31*sim.Second {
+		t.Fatalf("linkup took %v, want ≈30s", linkupDur)
+	}
+	if !r.vm.Guest().IBUsable() {
+		t.Fatal("IB not usable after re-attach + linkup")
+	}
+}
+
+func TestHotplugNoiseDuringMigration(t *testing.T) {
+	// A hotplug that overlaps an active migration must be stretched by
+	// HotplugNoiseFactor (Fig. 6 measures ≈3× vs Table II).
+	r := newTestRig(t, false, 20)
+	mon := r.vm.Monitor()
+	params := DefaultParams()
+	base := params.VirtioUnbindTime + params.VirtioHostDetach
+	var normal, noisy sim.Time
+	r.k.Go("seq", func(p *sim.Proc) {
+		// Baseline detach, no migration running.
+		start := p.Now()
+		fut, err := mon.DeviceDel("virtio-net0")
+		if err != nil {
+			t.Errorf("DeviceDel: %v", err)
+			return
+		}
+		fut.Wait(p)
+		normal = p.Now() - start
+
+		// Re-attach (clean), then detach again while migrating.
+		vnicFn := &pci.Function{Name: "virtio-net0", Class: pci.ClassVirtioNet,
+			Payload: r.vm.VNIC(), HostAttach: params.VirtioHostAttach,
+			HostDetach: params.VirtioHostDetach}
+		afut, err := r.vm.Bus().Add(VNICSlot, vnicFn)
+		if err != nil {
+			t.Errorf("Add: %v", err)
+			return
+		}
+		afut.Wait(p)
+
+		migFut, err := r.vm.Migrate(r.eth.Nodes[0])
+		if err != nil {
+			t.Errorf("Migrate: %v", err)
+			return
+		}
+		start = p.Now()
+		dfut, err := mon.DeviceDel("virtio-net0")
+		if err != nil {
+			t.Errorf("DeviceDel under migration: %v", err)
+			return
+		}
+		dfut.Wait(p)
+		noisy = p.Now() - start
+		migFut.Wait(p)
+	})
+	r.k.Run()
+	if !approxT(normal, base, 0.01) {
+		t.Fatalf("normal detach took %v, want %v", normal, base)
+	}
+	want := sim.Time(float64(base) * params.HotplugNoiseFactor)
+	if !approxT(noisy, want, 0.01) {
+		t.Fatalf("noisy detach took %v, want %v (3×)", noisy, want)
+	}
+}

@@ -1,0 +1,66 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// BcastReduce is the fallback/recovery experiment's application (§IV-C):
+// "a simple MPI program that repeatedly broadcasts and reduces 8 GB data
+// per a node". Each VM holds an 8 GB buffer; per step the buffer is
+// broadcast from rank 0 and reduced back, with each rank handling its
+// 1/ranksPerVM share. Rank 0 records per-step elapsed times — the bars of
+// Fig. 8.
+type BcastReduce struct {
+	// BytesPerNode is the per-VM data volume (8 GB in the paper).
+	BytesPerNode float64
+	// Steps is the iteration count (the paper plots 40).
+	Steps int
+	// StepDone, when non-nil, receives rank 0's per-step elapsed time.
+	StepDone func(step int, elapsed sim.Time)
+	// BeforeStep, when non-nil, runs on every rank at the top of each
+	// step, before FTProbe. Experiment harnesses use it as a gate to
+	// inject migration triggers at exact step boundaries (the paper
+	// launches Ninja migration every 10 iteration steps).
+	BeforeStep func(p *sim.Proc, r *mpi.Rank, step int)
+}
+
+// Name implements Workload.
+func (b *BcastReduce) Name() string { return "bcast-reduce" }
+
+// Install implements Workload: the buffer is numeric data (essentially
+// incompressible) that every step rewrites.
+func (b *BcastReduce) Install(job *mpi.Job) error {
+	return installPerVM(job, b.Name(), b.BytesPerNode, NPBUniformity, b.BytesPerNode)
+}
+
+// Uninstall removes the buffer regions.
+func (b *BcastReduce) Uninstall(job *mpi.Job) { uninstallPerVM(job, b.Name()) }
+
+// Body implements Workload.
+func (b *BcastReduce) Body(p *sim.Proc, r *mpi.Rank) {
+	share := b.BytesPerNode / float64(r.Job().RanksPerVM())
+	for step := 0; step < b.Steps; step++ {
+		start := p.Now()
+		if b.BeforeStep != nil {
+			b.BeforeStep(p, r, step)
+		}
+		r.FTProbe(p)
+		if err := r.Bcast(p, 0, share); err != nil {
+			panic(fmt.Sprintf("bcast-reduce rank %d step %d: %v", r.RankID(), step, err))
+		}
+		if err := r.Reduce(p, 0, share); err != nil {
+			panic(fmt.Sprintf("bcast-reduce rank %d step %d: %v", r.RankID(), step, err))
+		}
+		// All ranks align on step boundaries (the measured program prints
+		// per-iteration times, implying a synchronizing pattern).
+		if err := r.BarrierColl(p); err != nil {
+			panic(fmt.Sprintf("bcast-reduce rank %d step %d: %v", r.RankID(), step, err))
+		}
+		if b.StepDone != nil && r.RankID() == 0 {
+			b.StepDone(step, p.Now()-start)
+		}
+	}
+}

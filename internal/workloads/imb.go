@@ -1,0 +1,129 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// IMB is an Intel-MPI-Benchmarks-style microbenchmark suite: a message-size
+// sweep of a chosen pattern, reporting per-size latency and throughput.
+// It is the tool a user of this library reaches for to characterize a
+// deployment before and after an interconnect-transparent migration.
+type IMB struct {
+	// Pattern is one of "pingpong", "exchange", "allreduce", "bcast",
+	// "alltoall".
+	Pattern string
+	// Sizes are the message sizes to sweep (bytes). Defaults to powers of
+	// four from 64 B to 16 MB.
+	Sizes []float64
+	// Repetitions per size (default 10).
+	Repetitions int
+
+	// Results are appended per size by rank 0.
+	Results []IMBResult
+}
+
+// IMBResult is one row of the sweep.
+type IMBResult struct {
+	Bytes float64
+	// AvgTime is the mean per-operation completion time at rank 0.
+	AvgTime sim.Time
+	// Throughput is Bytes/AvgTime (B/s); for collective patterns it is
+	// per-rank payload throughput.
+	Throughput float64
+}
+
+// DefaultIMBSizes is the standard sweep.
+func DefaultIMBSizes() []float64 {
+	var sizes []float64
+	for b := 64.0; b <= 16e6; b *= 4 {
+		sizes = append(sizes, b)
+	}
+	return sizes
+}
+
+// Name implements Workload.
+func (b *IMB) Name() string { return "imb-" + b.Pattern }
+
+// Install implements Workload (microbenchmarks have negligible footprint).
+func (b *IMB) Install(job *mpi.Job) error {
+	switch b.Pattern {
+	case "pingpong", "exchange", "allreduce", "bcast", "alltoall":
+	default:
+		return fmt.Errorf("workloads: unknown IMB pattern %q", b.Pattern)
+	}
+	if b.Pattern == "pingpong" && job.Size() < 2 {
+		return fmt.Errorf("workloads: pingpong needs ≥2 ranks")
+	}
+	return nil
+}
+
+// Body implements Workload.
+func (b *IMB) Body(p *sim.Proc, r *mpi.Rank) {
+	sizes := b.Sizes
+	if len(sizes) == 0 {
+		sizes = DefaultIMBSizes()
+	}
+	reps := b.Repetitions
+	if reps <= 0 {
+		reps = 10
+	}
+	n := r.Job().Size()
+	id := r.RankID()
+	for _, size := range sizes {
+		r.FTProbe(p)
+		// Align before timing.
+		if err := r.BarrierColl(p); err != nil {
+			panic(fmt.Sprintf("imb barrier: %v", err))
+		}
+		start := p.Now()
+		for rep := 0; rep < reps; rep++ {
+			var err error
+			switch b.Pattern {
+			case "pingpong":
+				// Only ranks 0 and 1 participate; others idle at the
+				// closing barrier (IMB semantics).
+				switch id {
+				case 0:
+					if err = r.Send(p, 1, 10, size); err == nil {
+						_, err = r.Recv(p, 1, 11)
+					}
+				case 1:
+					if _, err = r.Recv(p, 0, 10); err == nil {
+						err = r.Send(p, 0, 11, size)
+					}
+				}
+			case "exchange":
+				right := (id + 1) % n
+				left := (id - 1 + n) % n
+				_, err = r.Sendrecv(p, right, 12, size, left, 12)
+			case "allreduce":
+				err = r.Allreduce(p, size)
+			case "bcast":
+				err = r.Bcast(p, 0, size)
+			case "alltoall":
+				err = r.Alltoall(p, size/float64(n))
+			}
+			if err != nil {
+				panic(fmt.Sprintf("imb %s rank %d: %v", b.Pattern, id, err))
+			}
+		}
+		elapsed := p.Now() - start
+		if err := r.BarrierColl(p); err != nil {
+			panic(fmt.Sprintf("imb barrier: %v", err))
+		}
+		if id == 0 {
+			avg := elapsed / sim.Time(reps)
+			if b.Pattern == "pingpong" {
+				avg /= 2 // report one-way half round trip, as IMB does
+			}
+			res := IMBResult{Bytes: size, AvgTime: avg}
+			if avg > 0 {
+				res.Throughput = size / avg.Seconds()
+			}
+			b.Results = append(b.Results, res)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// CommPattern is an NPB kernel's dominant communication structure.
+type CommPattern int
+
+const (
+	// PatternNeighbor: structured-grid boundary exchanges (BT, LU).
+	PatternNeighbor CommPattern = iota
+	// PatternAllreduce: dot products and convergence tests (CG).
+	PatternAllreduce
+	// PatternAlltoall: global transposes (FT).
+	PatternAlltoall
+)
+
+// NPB models one NAS Parallel Benchmark kernel as alternating compute and
+// communication phases. The per-iteration constants are calibrated so the
+// class D / 64-process baselines land near the paper's Fig. 7 bars on the
+// simulated AGC cluster (see EXPERIMENTS.md for the calibration table).
+type NPB struct {
+	Kernel string // "BT", "CG", "FT", "LU"
+	Class  string // "D"
+	// Iterations is the kernel's time-step count.
+	Iterations int
+	// ComputePerIter is core-seconds of computation per rank per step.
+	ComputePerIter float64
+	// CommBytes is the per-message payload of the pattern per step.
+	CommBytes float64
+	// ExchangesPerIter is how many pattern rounds run per step.
+	ExchangesPerIter int
+	// Pattern selects the communication structure.
+	Pattern CommPattern
+	// FootprintPerVM is the guest-resident working set per VM; NPB data
+	// is floating-point state, essentially incompressible (uniformity
+	// 0.05).
+	FootprintPerVM float64
+
+	// IterDone, when non-nil, is called by rank 0 after each step with
+	// the step index and its elapsed time.
+	IterDone func(step int, elapsed sim.Time)
+
+	// rows are FT's transpose communicators (a √n × √n process grid; each
+	// transpose is an all-to-all within a row), built lazily on first use.
+	rows map[int]*mpi.Comm
+	// rowSize is the grid's row length (0 until built; −1 when n is not
+	// a perfect square and FT falls back to a world all-to-all).
+	rowSize int
+}
+
+// transposeComms builds (once) the row communicators of the FT process
+// grid. NPB FT distributes a 3-D array over a 2-D grid; each of the two
+// per-iteration transposes is an MPI_Alltoall within a row.
+func (b *NPB) transposeComms(job *mpi.Job) {
+	if b.rowSize != 0 {
+		return
+	}
+	n := job.Size()
+	side := 1
+	for side*side < n {
+		side++
+	}
+	if side*side != n {
+		b.rowSize = -1 // not a square grid: world all-to-all fallback
+		return
+	}
+	b.rowSize = side
+	b.rows = job.Split(func(wr int) int { return wr / side })
+}
+
+// NPBClassD returns the calibrated class D kernel for 64 ranks (8 VMs × 8
+// ranks in the paper's Fig. 7 setup). Footprints span the paper's quoted
+// 2.3–16 GB per VM.
+func NPBClassD(kernel string) (*NPB, error) {
+	switch kernel {
+	case "BT":
+		return &NPB{Kernel: "BT", Class: "D", Iterations: 250,
+			ComputePerIter: 3.40, CommBytes: 10e6, ExchangesPerIter: 6,
+			Pattern: PatternNeighbor, FootprintPerVM: 8.2e9}, nil
+	case "CG":
+		return &NPB{Kernel: "CG", Class: "D", Iterations: 100,
+			ComputePerIter: 6.80, CommBytes: 5e6, ExchangesPerIter: 2,
+			Pattern: PatternAllreduce, FootprintPerVM: 2.3e9}, nil
+	case "FT":
+		return &NPB{Kernel: "FT", Class: "D", Iterations: 25,
+			ComputePerIter: 18.0, CommBytes: 20e6, ExchangesPerIter: 2,
+			Pattern: PatternAlltoall, FootprintPerVM: 16e9}, nil
+	case "LU":
+		return &NPB{Kernel: "LU", Class: "D", Iterations: 300,
+			ComputePerIter: 2.10, CommBytes: 0.2e6, ExchangesPerIter: 8,
+			Pattern: PatternNeighbor, FootprintPerVM: 4.6e9}, nil
+	default:
+		return nil, fmt.Errorf("workloads: unknown NPB kernel %q", kernel)
+	}
+}
+
+// NPBUniformity is the compressible fraction of NPB working sets.
+const NPBUniformity = 0.05
+
+// Name implements Workload.
+func (b *NPB) Name() string { return "npb-" + b.Kernel }
+
+// Install implements Workload.
+func (b *NPB) Install(job *mpi.Job) error {
+	// A numeric kernel re-touches its working set every few steps.
+	return installPerVM(job, b.Name(), b.FootprintPerVM, NPBUniformity, b.FootprintPerVM)
+}
+
+// Uninstall removes the kernel's regions.
+func (b *NPB) Uninstall(job *mpi.Job) { uninstallPerVM(job, b.Name()) }
+
+// Body implements Workload.
+func (b *NPB) Body(p *sim.Proc, r *mpi.Rank) {
+	n := r.Job().Size()
+	id := r.RankID()
+	for step := 0; step < b.Iterations; step++ {
+		start := p.Now()
+		r.FTProbe(p)
+		r.Compute(p, b.ComputePerIter)
+		switch b.Pattern {
+		case PatternNeighbor:
+			right := (id + 1) % n
+			left := (id - 1 + n) % n
+			for e := 0; e < b.ExchangesPerIter; e++ {
+				if _, err := r.Sendrecv(p, right, 100+e, b.CommBytes, left, 100+e); err != nil {
+					panic(fmt.Sprintf("npb %s rank %d: %v", b.Kernel, id, err))
+				}
+			}
+		case PatternAllreduce:
+			for e := 0; e < b.ExchangesPerIter; e++ {
+				if err := r.Allreduce(p, 8); err != nil { // scalar dot products
+					panic(fmt.Sprintf("npb %s rank %d: %v", b.Kernel, id, err))
+				}
+			}
+			right := (id + 1) % n
+			left := (id - 1 + n) % n
+			if _, err := r.Sendrecv(p, right, 200, b.CommBytes, left, 200); err != nil {
+				panic(fmt.Sprintf("npb %s rank %d: %v", b.Kernel, id, err))
+			}
+		case PatternAlltoall:
+			b.transposeComms(r.Job())
+			for e := 0; e < b.ExchangesPerIter; e++ {
+				if b.rowSize > 0 {
+					row := b.rows[id/b.rowSize]
+					if err := row.Alltoall(p, r, b.CommBytes/float64(b.rowSize)); err != nil {
+						panic(fmt.Sprintf("npb %s rank %d: %v", b.Kernel, id, err))
+					}
+				} else if err := r.Alltoall(p, b.CommBytes/float64(n)); err != nil {
+					panic(fmt.Sprintf("npb %s rank %d: %v", b.Kernel, id, err))
+				}
+			}
+		}
+		if b.IterDone != nil && id == 0 {
+			b.IterDone(step, p.Now()-start)
+		}
+	}
+}
