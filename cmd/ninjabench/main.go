@@ -19,14 +19,14 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated: table1,table2,fig6,fig7,fig8a,fig8b or 'all'")
+	run := flag.String("run", "all", "comma-separated: table1,table2,fig6,fig7,fig8a,fig8b,ext-faults or 'all'")
 	scale := flag.Float64("scale", 1.0, "iteration scale for fig7 (1.0 = full class D)")
 	flag.Parse()
 
 	want := map[string]bool{}
 	if *run == "all" {
 		for _, id := range []string{"table1", "table2", "fig6", "fig7", "fig8a", "fig8b",
-			"ext-scalability", "ext-coldvslive", "ext-bypass"} {
+			"ext-scalability", "ext-coldvslive", "ext-bypass", "ext-faults"} {
 			want[id] = true
 		}
 	} else {
@@ -107,5 +107,12 @@ func main() {
 			fail("ext-bypass", err)
 		}
 		fmt.Println(experiments.ExtBypassOverheadRender(rows))
+	}
+	if want["ext-faults"] {
+		rows, err := experiments.ExtFaultMatrix()
+		if err != nil {
+			fail("ext-faults", err)
+		}
+		fmt.Println(experiments.ExtFaultMatrixRender(rows))
 	}
 }

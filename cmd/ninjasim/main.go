@@ -16,9 +16,11 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/ninja"
+	"repro/internal/scheduler"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -34,11 +36,20 @@ func main() {
 	dst := flag.String("dst", "eth", "destination cluster: ib | eth")
 	mode := flag.String("mode", "live", "transfer mechanism: live | cold (checkpoint/restart via NFS)")
 	clr := flag.Bool("continue-like-restart", true, "set ompi_cr_continue_like_restart")
+	faultPlan := flag.String("faults", "none",
+		"fault plan: builtin name ("+strings.Join(faults.BuiltinNames(), ", ")+
+			") or spec string like 'migrate-abort@60s:vm=vm00,pass=1'; enables retry policy. "+
+			"@times are absolute simulated time (boot at 0; the run starts after ≈31s of link training)")
 	flag.Parse()
 
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "ninjasim:", err)
 		os.Exit(1)
+	}
+
+	plan, err := faults.ParsePlan(*faultPlan)
+	if err != nil {
+		die(err)
 	}
 
 	d, err := experiments.Deploy(experiments.DeployConfig{
@@ -47,6 +58,23 @@ func main() {
 	})
 	if err != nil {
 		die(err)
+	}
+
+	if !plan.Empty() {
+		// Faulty runs get the resilient orchestrator: bounded phases,
+		// retries, degradation to TCP, spare destinations.
+		pol := ninja.DefaultRetryPolicy()
+		spares := scheduler.NewSpares(d.Dst.Nodes[*nVMs:]...)
+		d.Orch = ninja.New(d.Job, ninja.Options{Retry: &pol, Spares: spares})
+		inj := faults.NewInjector(d.K, plan, faults.Env{
+			VMs: d.VMs, Nodes: d.DstNodes(*nVMs), Store: d.NFS,
+			Log: func(kind, subject, detail string) {
+				d.Orch.Events().Record(metrics.EventFaultInjected, kind, subject, detail)
+			},
+		})
+		if err := inj.Arm(); err != nil {
+			die(err)
+		}
 	}
 
 	series := metrics.Series{Label: *workload}
@@ -76,6 +104,7 @@ func main() {
 	}
 
 	var rep ninja.Report
+	var migErr error
 	migrated := false
 	if *migrateAt >= 0 {
 		d.K.Go("driver", func(p *sim.Proc) {
@@ -91,10 +120,10 @@ func main() {
 			} else {
 				r, err = d.Orch.Migrate(p, dsts)
 			}
-			if err != nil {
+			if err != nil && r.Outcome != ninja.OutcomeRolledBack {
 				die(err)
 			}
-			rep = r
+			rep, migErr = r, err
 			migrated = true
 		})
 	}
@@ -112,6 +141,16 @@ func main() {
 			rep.Attach.Seconds(), rep.Linkup.Seconds(), rep.Total.Seconds())
 		if name, err := d.Job.Rank(0).TransportTo(d.Job.Size() - 1); err == nil {
 			fmt.Printf("transport now: %s\n", name)
+		}
+		if !plan.Empty() {
+			fmt.Printf("outcome: %s (retries %d, spares %d, degraded-to-tcp %d)\n",
+				rep.Outcome, rep.Retries, rep.SparesUsed, rep.DegradedToTCP)
+			if migErr != nil {
+				fmt.Printf("orchestration error: %v\n", migErr)
+			}
+			for _, ev := range rep.Events {
+				fmt.Println("  " + ev.String())
+			}
 		}
 	}
 	if len(series.Points) > 0 {

@@ -1,0 +1,70 @@
+package fabric
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestWaitActiveTimeoutExpires(t *testing.T) {
+	k := sim.NewKernel()
+	_, h, _ := newIBTestbed(k)
+	h.InjectTrainingStall(120 * sim.Second)
+	h.PowerOn()
+	k.Go("w", func(p *sim.Proc) {
+		err := h.WaitActiveTimeout(p, 10*sim.Second)
+		if !errors.Is(err, ErrTrainingTimeout) {
+			t.Errorf("err = %v, want ErrTrainingTimeout", err)
+		}
+		if p.Now() != 10*sim.Second {
+			t.Errorf("timed out at %v, want 10s", p.Now())
+		}
+	})
+	k.Run()
+	// The port still comes up eventually, at the stalled training time.
+	if h.State() != PortActive {
+		t.Fatalf("state = %v, want Active after stalled training", h.State())
+	}
+	if got, want := k.Now(), DefaultIBTrainingTime+120*sim.Second; got != want {
+		t.Fatalf("active at %v, want %v", got, want)
+	}
+}
+
+func TestTrainingStallConsumedOnce(t *testing.T) {
+	k := sim.NewKernel()
+	_, h, _ := newIBTestbed(k)
+	h.InjectTrainingStall(60 * sim.Second)
+	h.PowerOn()
+	k.Run()
+	first := k.Now()
+	if first != DefaultIBTrainingTime+60*sim.Second {
+		t.Fatalf("first training took %v, want %v", first, DefaultIBTrainingTime+60*sim.Second)
+	}
+	// A power cycle after the stall trains at the normal rate again.
+	h.PowerOff()
+	h.PowerOn()
+	k.Run()
+	if got, want := k.Now()-first, DefaultIBTrainingTime; got != want {
+		t.Fatalf("second training took %v, want %v", got, want)
+	}
+}
+
+func TestFlapRetrainsWithFreshLID(t *testing.T) {
+	k := sim.NewKernel()
+	_, h, _ := newIBTestbed(k)
+	h.PowerOn()
+	k.Run()
+	lid1 := h.LID()
+	h.Flap()
+	if h.State() != PortPolling {
+		t.Fatalf("state after Flap = %v, want Polling", h.State())
+	}
+	k.Run()
+	if h.State() != PortActive {
+		t.Fatalf("state = %v, want Active after retraining", h.State())
+	}
+	if h.LID() == lid1 {
+		t.Fatal("LID unchanged across flap; want a fresh assignment")
+	}
+}

@@ -46,10 +46,11 @@ type QPN uint32
 
 // Errors returned by HCA and queue-pair operations.
 var (
-	ErrPortNotActive  = errors.New("fabric: ib port not active")
-	ErrQPDestroyed    = errors.New("fabric: queue pair destroyed")
-	ErrQPNotConnected = errors.New("fabric: queue pair not connected")
-	ErrStaleLID       = errors.New("fabric: stale LID (peer re-trained)")
+	ErrPortNotActive   = errors.New("fabric: ib port not active")
+	ErrQPDestroyed     = errors.New("fabric: queue pair destroyed")
+	ErrQPNotConnected  = errors.New("fabric: queue pair not connected")
+	ErrStaleLID        = errors.New("fabric: stale LID (peer re-trained)")
+	ErrTrainingTimeout = errors.New("fabric: ib port stuck in Polling past the wait window")
 )
 
 // IBSubnet is the subnet manager state for one InfiniBand switch: it
@@ -103,6 +104,9 @@ type HCA struct {
 	qps     map[QPN]*QueuePair
 	active  *sim.Future[struct{}]
 	trainEv *sim.Event
+	// stall is extra Polling time consumed by the next PowerOn (fault
+	// injection: link training stuck beyond the normal 30 s window).
+	stall sim.Time
 }
 
 // NewHCA creates a powered-down HCA cabled to the subnet's home switch
@@ -150,7 +154,9 @@ func (h *HCA) PowerOn() {
 	h.state = PortPolling
 	h.epoch++
 	h.active = sim.NewFuture[struct{}](h.k())
-	h.trainEv = h.k().Schedule(h.subnet.TrainingTime, func() {
+	training := h.subnet.TrainingTime.SaturatingAdd(h.stall)
+	h.stall = 0
+	h.trainEv = h.k().Schedule(training, func() {
 		h.trainEv = nil
 		h.state = PortActive
 		h.lid = h.subnet.nextLID
@@ -182,15 +188,48 @@ func (h *HCA) PowerOff() {
 // WaitActive blocks the calling process until the port reaches Active.
 // This is the guest driver's "confirm linkup" step from Fig. 4.
 func (h *HCA) WaitActive(p *sim.Proc) error {
+	return h.WaitActiveTimeout(p, 0)
+}
+
+// WaitActiveTimeout is WaitActive bounded to d of simulated time (≤0 waits
+// forever). It returns ErrTrainingTimeout if the port is still Polling when
+// the window closes — the signal the Ninja orchestrator uses to degrade an
+// IB destination to TCP instead of hanging the whole job on a link that
+// never trains.
+func (h *HCA) WaitActiveTimeout(p *sim.Proc, d sim.Time) error {
 	switch h.state {
 	case PortActive:
 		return nil
 	case PortPolling:
-		h.active.Wait(p)
+		if _, ok := sim.WaitTimeout(p, h.active, d); !ok {
+			return fmt.Errorf("%w: %s after %v", ErrTrainingTimeout, h.Name, d)
+		}
 		return nil
 	default:
 		return ErrPortNotActive
 	}
+}
+
+// InjectTrainingStall extends the next link training by d (one-shot fault
+// injection): the port sits in Polling for TrainingTime+d before going
+// Active, modelling the link-training stalls the paper's hardware exhibits
+// on hotplug re-attach.
+func (h *HCA) InjectTrainingStall(d sim.Time) {
+	if d < 0 {
+		d = 0
+	}
+	h.stall = d
+}
+
+// Flap power-cycles an Active port (cable pull / switch port reset): every
+// queue pair dies, the LID is withdrawn, and the link re-trains from
+// scratch. A non-Active port is left alone.
+func (h *HCA) Flap() {
+	if h.state != PortActive {
+		return
+	}
+	h.PowerOff()
+	h.PowerOn()
 }
 
 func (h *HCA) k() *sim.Kernel { return h.subnet.sw.net.k }

@@ -1,0 +1,355 @@
+// Package faults is a deterministic, DES-clock-driven fault-injection
+// registry for the simulated testbed. A Plan is a script of fault Specs
+// (parsed from a compact string form or built programmatically); an
+// Injector binds the plan to a concrete environment — VMs, nodes, the
+// shared store — and arms it on the simulation clock. Nothing here reads
+// the wall clock or an unseeded PRNG: given the same plan (including its
+// seed) and the same deployment, every fault fires at the same simulated
+// instant, so failure experiments replay bit-for-bit.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Kind enumerates the injectable fault classes, one per failure-prone
+// boundary of the stack.
+type Kind string
+
+const (
+	// KindMigrateAbort kills a live migration mid-precopy-round (the
+	// destination QEMU dies with the socket). Target: VM. Pass selects
+	// the round (default 2); Count how many migrations to kill.
+	KindMigrateAbort Kind = "migrate-abort"
+	// KindQMPError makes a QMP command (Arg, default "device_add") fail
+	// with a GenericError. Target: VM. Count bounds occurrences.
+	KindQMPError Kind = "qmp-error"
+	// KindDropEvent swallows an asynchronous QMP completion event (Arg,
+	// default "DEVICE_DELETED"): the operation happens but its
+	// notification is lost, wedging naive waiters forever. Target: VM.
+	KindDropEvent Kind = "drop-event"
+	// KindTrainStall delays the next IB port training by For (default
+	// 120 s) — a port stuck in POLLING past the normal ≈30 s window.
+	// Target: node (empty = every HCA in the environment).
+	KindTrainStall Kind = "ib-train-stall"
+	// KindLinkFlap bounces an Active IB port at time At (PowerOff +
+	// PowerOn: full retraining). Target: node (empty = every HCA).
+	KindLinkFlap Kind = "link-flap"
+	// KindNFSSlow multiplies shared-store service time by Factor
+	// (default 10) during [At, At+For] (For default 60 s).
+	KindNFSSlow Kind = "nfs-slow"
+	// KindNFSOutage takes the shared store offline during [At, At+For]
+	// (For default 60 s): reads and writes fail with storage.ErrOffline.
+	KindNFSOutage Kind = "nfs-outage"
+	// KindNodeCrash fails a node at At (allocations refuse, migrations
+	// toward it abort). For > 0 restores it at At+For. Target: node
+	// (empty = the first node in the environment's victim list).
+	KindNodeCrash Kind = "node-crash"
+)
+
+// knownKinds lists every Kind for validation and help text.
+var knownKinds = []Kind{
+	KindMigrateAbort, KindQMPError, KindDropEvent, KindTrainStall,
+	KindLinkFlap, KindNFSSlow, KindNFSOutage, KindNodeCrash,
+}
+
+// Spec is one scripted fault.
+type Spec struct {
+	Kind Kind
+	// At is when the fault arms/fires on the simulation clock (absolute;
+	// 0 = active from the start).
+	At sim.Time
+	// For is the fault's duration or magnitude-in-time, kind-specific
+	// (outage window, extra training stall, downtime before restore).
+	For sim.Time
+	// Target names the victim VM or node; empty picks per the kind's
+	// default (seeded-random VM, or every/first node).
+	Target string
+	// Arg is the kind-specific string argument (QMP command or event).
+	Arg string
+	// Pass is the precopy round a migrate-abort strikes (default 2).
+	Pass int
+	// Count bounds how many times the fault fires (default 1).
+	Count int
+	// Factor is the nfs-slow multiplier (default 10).
+	Factor float64
+}
+
+func (s Spec) count() int {
+	if s.Count < 1 {
+		return 1
+	}
+	return s.Count
+}
+
+func (s Spec) pass() int {
+	if s.Pass < 1 {
+		return 2
+	}
+	return s.Pass
+}
+
+func (s Spec) window() sim.Time {
+	if s.For <= 0 {
+		return 60 * sim.Second
+	}
+	return s.For
+}
+
+func (s Spec) stall() sim.Time {
+	if s.For <= 0 {
+		return 120 * sim.Second
+	}
+	return s.For
+}
+
+func (s Spec) factor() float64 {
+	if s.Factor <= 1 {
+		return 10
+	}
+	return s.Factor
+}
+
+func (s Spec) arg(def string) string {
+	if s.Arg == "" {
+		return def
+	}
+	return s.Arg
+}
+
+// String renders the spec in the plan-string syntax.
+func (s Spec) String() string {
+	out := string(s.Kind)
+	if s.At > 0 {
+		out += fmt.Sprintf("@%gs", s.At.Seconds())
+	}
+	if s.For > 0 {
+		out += fmt.Sprintf("+%gs", s.For.Seconds())
+	}
+	var opts []string
+	if s.Target != "" {
+		opts = append(opts, "target="+s.Target)
+	}
+	if s.Arg != "" {
+		opts = append(opts, "arg="+s.Arg)
+	}
+	if s.Pass > 0 {
+		opts = append(opts, fmt.Sprintf("pass=%d", s.Pass))
+	}
+	if s.Count > 0 {
+		opts = append(opts, fmt.Sprintf("count=%d", s.Count))
+	}
+	if s.Factor > 0 {
+		opts = append(opts, fmt.Sprintf("factor=%g", s.Factor))
+	}
+	if len(opts) > 0 {
+		out += ":" + strings.Join(opts, ",")
+	}
+	return out
+}
+
+// Plan is a named, seeded script of faults.
+type Plan struct {
+	Name  string
+	Seed  int64
+	Specs []Spec
+}
+
+// Empty reports whether the plan injects nothing (the control plan).
+func (p Plan) Empty() bool { return len(p.Specs) == 0 }
+
+// String renders the plan in parseable form.
+func (p Plan) String() string {
+	parts := make([]string, 0, len(p.Specs)+1)
+	if p.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	for _, s := range p.Specs {
+		parts = append(parts, s.String())
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ";")
+}
+
+// Builtin maps plan names to their spec strings, for CLI use
+// (ninjasim -faults=<name> and the ext-faults matrix scenarios).
+var Builtin = map[string]string{
+	"none":                "",
+	"drop-device-deleted": "drop-event:arg=DEVICE_DELETED",
+	"qmp-error-attach":    "qmp-error:arg=device_add",
+	"qmp-error-detach":    "qmp-error:arg=device_del",
+	"migrate-abort":       "migrate-abort:pass=2",
+	"train-stall":         "ib-train-stall+120s",
+	"link-flap":           "link-flap@40s",
+	"nfs-slow":            "nfs-slow@30s+60s:factor=10",
+	"nfs-outage":          "nfs-outage@30s+45s",
+	"node-crash":          "node-crash@20s",
+}
+
+// BuiltinNames returns the builtin plan names, sorted.
+func BuiltinNames() []string {
+	names := make([]string, 0, len(Builtin))
+	for n := range Builtin {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ErrBadPlan reports an unparseable plan string.
+var ErrBadPlan = errors.New("faults: bad plan")
+
+// ParsePlan parses the compact plan syntax:
+//
+//	plan  := "none" | builtin-name | item (";" item)*
+//	item  := "seed=" int | spec
+//	spec  := kind ["@" dur] ["+" dur] [":" key "=" val ("," key "=" val)*]
+//	keys  := vm | node | target | cmd | event | arg | pass | count | factor
+//
+// Durations use Go syntax ("45s", "2m"). Examples:
+//
+//	migrate-abort@60s:vm=vm00,pass=2
+//	nfs-outage@300s+45s;node-crash@310s:node=agc-dst-00
+//	seed=7;drop-event:event=DEVICE_DELETED
+func ParsePlan(s string) (Plan, error) {
+	pl := Plan{Name: strings.TrimSpace(s)}
+	s = pl.Name
+	if s == "" || s == "none" {
+		pl.Name = "none"
+		return pl, nil
+	}
+	if raw, ok := Builtin[s]; ok {
+		pl2, err := ParsePlan(raw)
+		pl2.Name = s
+		return pl2, err
+	}
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(part, "seed="); ok {
+			seed, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return pl, fmt.Errorf("%w: seed %q", ErrBadPlan, v)
+			}
+			pl.Seed = seed
+			continue
+		}
+		spec, err := parseSpec(part)
+		if err != nil {
+			return pl, err
+		}
+		pl.Specs = append(pl.Specs, spec)
+	}
+	return pl, nil
+}
+
+func parseSpec(s string) (Spec, error) {
+	var spec Spec
+	head, opts, hasOpts := strings.Cut(s, ":")
+
+	// head := kind[@at][+for]
+	rest := head
+	if i := strings.IndexAny(rest, "@+"); i >= 0 {
+		spec.Kind = Kind(rest[:i])
+		rest = rest[i:]
+	} else {
+		spec.Kind = Kind(rest)
+		rest = ""
+	}
+	if !validKind(spec.Kind) {
+		return spec, fmt.Errorf("%w: unknown kind %q (known: %v)", ErrBadPlan, spec.Kind, knownKinds)
+	}
+	if v, ok := strings.CutPrefix(rest, "@"); ok {
+		at, tail, err := parseDur(v)
+		if err != nil {
+			return spec, fmt.Errorf("%w: %s: %v", ErrBadPlan, s, err)
+		}
+		spec.At = at
+		rest = tail
+	}
+	if v, ok := strings.CutPrefix(rest, "+"); ok {
+		dur, tail, err := parseDur(v)
+		if err != nil {
+			return spec, fmt.Errorf("%w: %s: %v", ErrBadPlan, s, err)
+		}
+		spec.For = dur
+		rest = tail
+	}
+	if rest != "" {
+		return spec, fmt.Errorf("%w: trailing %q in %q", ErrBadPlan, rest, s)
+	}
+
+	if !hasOpts {
+		return spec, nil
+	}
+	for _, kv := range strings.Split(opts, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return spec, fmt.Errorf("%w: option %q in %q", ErrBadPlan, kv, s)
+		}
+		switch key {
+		case "vm", "node", "target":
+			spec.Target = val
+		case "cmd", "event", "arg":
+			spec.Arg = val
+		case "pass":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return spec, fmt.Errorf("%w: pass %q", ErrBadPlan, val)
+			}
+			spec.Pass = n
+		case "count":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return spec, fmt.Errorf("%w: count %q", ErrBadPlan, val)
+			}
+			spec.Count = n
+		case "factor":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return spec, fmt.Errorf("%w: factor %q", ErrBadPlan, val)
+			}
+			spec.Factor = f
+		default:
+			return spec, fmt.Errorf("%w: unknown option %q in %q", ErrBadPlan, key, s)
+		}
+	}
+	return spec, nil
+}
+
+// parseDur consumes a leading Go duration from v, returning the value and
+// the unconsumed tail (the next '+' section, if any).
+func parseDur(v string) (sim.Time, string, error) {
+	end := len(v)
+	if i := strings.IndexByte(v, '+'); i >= 0 {
+		end = i
+	}
+	d, err := time.ParseDuration(v[:end])
+	if err != nil {
+		return 0, "", err
+	}
+	if d < 0 {
+		return 0, "", fmt.Errorf("negative duration %q", v[:end])
+	}
+	return sim.Time(d), v[end:], nil
+}
+
+func validKind(k Kind) bool {
+	for _, known := range knownKinds {
+		if k == known {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,95 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestParsePlanFull(t *testing.T) {
+	pl, err := ParsePlan("seed=7;migrate-abort@60s:vm=vm00,pass=1;nfs-outage@30s+45s;qmp-error:cmd=device_del,count=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Seed != 7 {
+		t.Fatalf("Seed = %d, want 7", pl.Seed)
+	}
+	if len(pl.Specs) != 3 {
+		t.Fatalf("got %d specs, want 3", len(pl.Specs))
+	}
+	s := pl.Specs[0]
+	if s.Kind != KindMigrateAbort || s.At != 60*sim.Second || s.Target != "vm00" || s.Pass != 1 {
+		t.Fatalf("spec 0 = %+v", s)
+	}
+	s = pl.Specs[1]
+	if s.Kind != KindNFSOutage || s.At != 30*sim.Second || s.For != 45*sim.Second {
+		t.Fatalf("spec 1 = %+v", s)
+	}
+	s = pl.Specs[2]
+	if s.Kind != KindQMPError || s.Arg != "device_del" || s.Count != 3 {
+		t.Fatalf("spec 2 = %+v", s)
+	}
+}
+
+func TestParsePlanEmptyAndNone(t *testing.T) {
+	for _, in := range []string{"", "none", "  none  "} {
+		pl, err := ParsePlan(in)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", in, err)
+		}
+		if !pl.Empty() || pl.Name != "none" {
+			t.Fatalf("ParsePlan(%q) = %+v, want empty 'none' plan", in, pl)
+		}
+	}
+}
+
+func TestParsePlanBuiltins(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		pl, err := ParsePlan(name)
+		if err != nil {
+			t.Fatalf("builtin %q: %v", name, err)
+		}
+		if pl.Name != name {
+			t.Fatalf("builtin %q parsed with Name %q", name, pl.Name)
+		}
+		if name != "none" && pl.Empty() {
+			t.Fatalf("builtin %q parsed to an empty plan", name)
+		}
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, in := range []string{
+		"no-such-kind@10s",
+		"migrate-abort:wat=1",
+		"migrate-abort@bogus",
+		"migrate-abort:pass=x",
+		"seed=zzz",
+		"nfs-slow:factor=x",
+	} {
+		if _, err := ParsePlan(in); !errors.Is(err, ErrBadPlan) {
+			t.Errorf("ParsePlan(%q) err = %v, want ErrBadPlan", in, err)
+		}
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	orig := Spec{Kind: KindNFSSlow, At: 30 * sim.Second, For: 45 * sim.Second, Factor: 8}
+	pl, err := ParsePlan(orig.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", orig.String(), err)
+	}
+	if len(pl.Specs) != 1 || pl.Specs[0] != orig {
+		t.Fatalf("round trip %q → %+v, want %+v", orig.String(), pl.Specs, orig)
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	var s Spec
+	if s.count() != 1 || s.pass() != 2 || s.window() != 60*sim.Second ||
+		s.stall() != 120*sim.Second || s.factor() != 10 || s.arg("device_add") != "device_add" {
+		t.Fatalf("zero-spec defaults wrong: count=%d pass=%d window=%v stall=%v factor=%g arg=%q",
+			s.count(), s.pass(), s.window(), s.stall(), s.factor(), s.arg("device_add"))
+	}
+}

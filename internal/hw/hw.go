@@ -30,11 +30,27 @@ type Node struct {
 	NIC *fabric.NIC
 
 	memUsed float64
+	failed  bool
 }
 
+// Fail marks the node crashed (fault injection): memory reservations and
+// migrations toward it are refused until Restore. VMs already resident are
+// not modelled as lost — the faults the paper worries about strike the
+// *destination* before or during a move.
+func (n *Node) Fail() { n.failed = true }
+
+// Restore clears a crash mark.
+func (n *Node) Restore() { n.failed = false }
+
+// Failed reports whether the node is marked crashed.
+func (n *Node) Failed() bool { return n.failed }
+
 // AllocMemory reserves bytes of host RAM for a VM; it returns an error if
-// the node would be oversubscribed.
+// the node would be oversubscribed or has crashed.
 func (n *Node) AllocMemory(bytes float64) error {
+	if n.failed {
+		return fmt.Errorf("hw: node %s is down", n.Name)
+	}
 	if n.memUsed+bytes > n.MemoryBytes {
 		return fmt.Errorf("hw: node %s out of memory (%0.f used + %0.f requested > %0.f)",
 			n.Name, n.memUsed, bytes, n.MemoryBytes)

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// EventKind classifies an orchestration event. The robustness layer emits
+// these from fault hooks, watchdogs and recovery decisions so experiments
+// and tests can assert on *what happened*, not just on final timings.
+type EventKind string
+
+const (
+	// EventFaultInjected: a fault plan fired one of its specs.
+	EventFaultInjected EventKind = "fault-injected"
+	// EventPhaseError: an orchestration phase attempt returned an error.
+	EventPhaseError EventKind = "phase-error"
+	// EventPhaseTimeout: a watchdog expired around a phase attempt.
+	EventPhaseTimeout EventKind = "phase-timeout"
+	// EventRetry: the orchestrator is about to re-attempt a phase or VM op.
+	EventRetry EventKind = "retry"
+	// EventRetryOK: a retried phase or VM operation succeeded.
+	EventRetryOK EventKind = "retry-ok"
+	// EventDegraded: the orchestrator abandoned InfiniBand for this VM and
+	// let the MPI layer reconstruct over TCP.
+	EventDegraded EventKind = "degraded-to-tcp"
+	// EventSpareUsed: a failed destination was replaced by a spare node.
+	EventSpareUsed EventKind = "spare-node"
+	// EventRollback: the script gave up and rolled the job back in place.
+	EventRollback EventKind = "rolled-back"
+)
+
+// Event is one timestamped orchestration event.
+type Event struct {
+	At      sim.Time
+	Kind    EventKind
+	Phase   string // orchestration phase ("detach", "migration", ...)
+	Subject string // VM / node / device name, when applicable
+	Detail  string
+}
+
+// String renders "t=12.00s detach retry vm00: ...".
+func (e Event) String() string {
+	s := fmt.Sprintf("t=%.2fs %-16s %s", e.At.Seconds(), e.Kind, e.Phase)
+	if e.Subject != "" {
+		s += " " + e.Subject
+	}
+	if e.Detail != "" {
+		s += ": " + e.Detail
+	}
+	return s
+}
+
+// EventLog is an append-only, simulation-clocked event recorder.
+type EventLog struct {
+	now    func() sim.Time
+	events []Event
+}
+
+// NewEventLog creates a log stamped by the given clock (pass Kernel.Now).
+func NewEventLog(now func() sim.Time) *EventLog {
+	return &EventLog{now: now}
+}
+
+// Record appends an event at the current simulated time.
+func (l *EventLog) Record(kind EventKind, phase, subject, detail string) {
+	l.events = append(l.events, Event{
+		At: l.now(), Kind: kind, Phase: phase, Subject: subject, Detail: detail,
+	})
+}
+
+// Len returns the number of recorded events.
+func (l *EventLog) Len() int { return len(l.events) }
+
+// Events returns all recorded events (shared backing array; treat as
+// read-only).
+func (l *EventLog) Events() []Event { return l.events }
+
+// Since returns the events recorded at or after index mark (use Len()
+// before an operation to scope its events).
+func (l *EventLog) Since(mark int) []Event {
+	if mark < 0 {
+		mark = 0
+	}
+	if mark > len(l.events) {
+		mark = len(l.events)
+	}
+	return l.events[mark:]
+}
+
+// Count returns how many recorded events have the kind.
+func (l *EventLog) Count(kind EventKind) int {
+	n := 0
+	for _, e := range l.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders one event per line.
+func (l *EventLog) String() string {
+	var b strings.Builder
+	for _, e := range l.events {
+		b.WriteString(e.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestEventLogRecordAndQuery(t *testing.T) {
+	now := sim.Time(0)
+	l := NewEventLog(func() sim.Time { return now })
+
+	now = 3 * sim.Second
+	l.Record(EventFaultInjected, "migration", "vm00", "socket dropped")
+	now = 5 * sim.Second
+	l.Record(EventRetry, "migration", "vm00", "attempt 2")
+	mark := l.Len()
+	now = 8 * sim.Second
+	l.Record(EventRetryOK, "migration", "vm00", "attempt 2 succeeded")
+
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	if got := l.Count(EventRetry); got != 1 {
+		t.Fatalf("Count(retry) = %d, want 1", got)
+	}
+	since := l.Since(mark)
+	if len(since) != 1 || since[0].Kind != EventRetryOK {
+		t.Fatalf("Since(%d) = %+v, want the single retry-ok event", mark, since)
+	}
+	if since[0].At != 8*sim.Second {
+		t.Fatalf("event stamped at %v, want 8s", since[0].At)
+	}
+	s := l.Events()[0].String()
+	for _, want := range []string{"t=3.00s", string(EventFaultInjected), "vm00", "socket dropped"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+	if !strings.Contains(l.String(), "attempt 2 succeeded") {
+		t.Fatalf("log String() missing last event: %q", l.String())
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/crs"
 	"repro/internal/hw"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/sim"
 	"repro/internal/symvirt"
@@ -26,9 +27,26 @@ const DeviceTag = "vf0"
 // nodes, provided by the cloud scheduler.
 const DefaultHostPCIID = "04:00.0"
 
+// Outcome summarizes how a Ninja migration concluded.
+type Outcome string
+
+const (
+	// OutcomeClean: no fault touched the run.
+	OutcomeClean Outcome = "clean"
+	// OutcomeRetriedOK: at least one phase or VM operation failed and a
+	// retry (possibly against a spare node) completed the move.
+	OutcomeRetriedOK Outcome = "retried-ok"
+	// OutcomeDegradedTCP: the move completed but one or more VMs gave up
+	// on InfiniBand and continue over the tcp BTL.
+	OutcomeDegradedTCP Outcome = "degraded-to-tcp"
+	// OutcomeRolledBack: the script aborted and the job resumed on its
+	// original placement.
+	OutcomeRolledBack Outcome = "rolled-back-in-place"
+)
+
 // Report is one Ninja migration's overhead breakdown — the categories of
 // Figs. 4, 6 and 7: coordination, hotplug (detach + attach + confirm),
-// migration, and link-up.
+// migration, and link-up — plus the robustness outcome of the run.
 type Report struct {
 	// Coordination is the CRCP quiesce span: from the trigger until every
 	// VM's processes are parked in SymVirt wait.
@@ -49,6 +67,19 @@ type Report struct {
 	VMStats []vmm.MigrationStats
 	// ColdStats are the per-VM save/restore statistics (cold mode).
 	ColdStats []vmm.ColdStats
+
+	// Outcome classifies the run (clean / retried-ok / degraded-to-tcp /
+	// rolled-back-in-place).
+	Outcome Outcome
+	// Retries counts successful re-attempts (phases and per-VM ops).
+	Retries int
+	// SparesUsed counts destinations replaced from the spare pool.
+	SparesUsed int
+	// DegradedToTCP counts VMs that abandoned InfiniBand this run.
+	DegradedToTCP int
+	// Events is the orchestration event trail for this run (faults seen,
+	// timeouts, retries, degradations, rollback).
+	Events []metrics.Event
 }
 
 // Hotplug is the paper's "hotplug" category: detach + re-attach + confirm.
@@ -61,6 +92,13 @@ type Options struct {
 	// ConfirmTime overrides the per-phase script confirmation cost
 	// (defaults to the VMM parameter).
 	ConfirmTime sim.Time
+	// Retry bounds phases in simulated time and enables retries and
+	// graceful degradation. nil reproduces the original fail-fast script:
+	// any phase error rolls the job back in place immediately.
+	Retry *RetryPolicy
+	// Spares supplies replacement destinations when a planned destination
+	// node fails mid-migration (typically scheduler.NewSpares).
+	Spares SparePool
 }
 
 // Orchestrator wires an MPI job to SymVirt coordinators and a controller,
@@ -71,6 +109,12 @@ type Orchestrator struct {
 	ctl  *symvirt.Controller
 	tgts []symvirt.Target
 	opts Options
+
+	events *metrics.EventLog
+	// Per-run counters, reset at the top of run().
+	retries    int
+	sparesUsed int
+	degraded   int
 }
 
 // ErrShape reports a mismatch between destinations and VMs.
@@ -85,7 +129,7 @@ func New(job *mpi.Job, opts Options) *Orchestrator {
 	if opts.HostPCIID == "" {
 		opts.HostPCIID = DefaultHostPCIID
 	}
-	o := &Orchestrator{k: k, job: job, opts: opts}
+	o := &Orchestrator{k: k, job: job, opts: opts, events: metrics.NewEventLog(k.Now)}
 
 	coordByVM := make(map[*vmm.VM]*symvirt.Coordinator)
 	for _, vm := range job.VMs() {
@@ -103,9 +147,14 @@ func New(job *mpi.Job, opts Options) *Orchestrator {
 			// link-up before the runtime reconstructs BTLs.
 			Continue: func(p *sim.Proc) {
 				coord.Hold(p)
-				if _, ok := r.VM().Guest().IBDevice(); ok {
-					if err := r.VM().Guest().WaitIBLinkup(p); err != nil {
-						panic(fmt.Sprintf("ninja: linkup confirm on %s: %v", r.VM().Name(), err))
+				g := r.VM().Guest()
+				if _, ok := g.IBDevice(); ok {
+					if err := g.WaitIBLinkupTimeout(p, o.linkupTimeout()); err != nil {
+						// Recoverable: a port stuck in POLLING (or never
+						// powered) must not wedge the rank. Drop the IB
+						// binding so BTL reconstruction selects tcp and
+						// surface the degradation on the report.
+						o.noteLinkupFailure(r.VM(), err)
 					}
 				}
 			},
@@ -127,6 +176,27 @@ func (o *Orchestrator) Controller() *symvirt.Controller { return o.ctl }
 
 // Targets returns the VM/coordinator pairs.
 func (o *Orchestrator) Targets() []symvirt.Target { return o.tgts }
+
+// Events returns the orchestrator's full event log (across runs).
+func (o *Orchestrator) Events() *metrics.EventLog { return o.events }
+
+func (o *Orchestrator) linkupTimeout() sim.Time {
+	if o.opts.Retry == nil {
+		return 0 // unbounded, as in the original script
+	}
+	return o.opts.Retry.LinkupTimeout
+}
+
+// noteLinkupFailure implements the bottom rung of the degradation ladder
+// from inside a guest rank: IB never came up, so the VM continues over
+// Ethernet. (Rolling back is impossible from here — the controller has
+// already released the guests — and unnecessary: the tcp BTL works.)
+func (o *Orchestrator) noteLinkupFailure(vm *vmm.VM, err error) {
+	o.events.Record(metrics.EventPhaseError, "linkup", vm.Name(), err.Error())
+	vm.Guest().AbandonIB()
+	o.degraded++
+	o.events.Record(metrics.EventDegraded, "linkup", vm.Name(), "continuing over the tcp BTL")
+}
 
 // Migrate runs the full Ninja migration script against destination nodes
 // (one per VM, in job VM order):
@@ -181,12 +251,50 @@ func (o *Orchestrator) MigratePolicy(p *sim.Proc, dsts []*hw.Node, policy Attach
 	return o.run(p, dsts, policy, Live)
 }
 
+// stage identifies where in the script a failure surfaced — the abort
+// path must release the guests differently depending on which SymVirt
+// wait they are parked in.
+type stage int
+
+const (
+	stageDetach  stage = iota // guests in the checkpoint wait (#1)
+	stageMigrate              // guests in the continue wait (#2)
+	stageAttach               // guests in the continue wait (#3, after hold)
+)
+
 func (o *Orchestrator) run(p *sim.Proc, dsts []*hw.Node, policy AttachPolicy, mode Mode) (Report, error) {
 	var rep Report
 	if len(dsts) != len(o.tgts) {
 		return rep, fmt.Errorf("%w: %d destinations, %d VMs", ErrShape, len(dsts), len(o.tgts))
 	}
+	// Spare substitution rewrites destinations; work on a private copy so
+	// the caller's plan stays intact.
+	dsts = append([]*hw.Node(nil), dsts...)
+	pol := o.opts.Retry
+	var coordT, detachT, migT, attachT sim.Time
+	if pol != nil {
+		coordT, detachT, migT, attachT = pol.CoordTimeout, pol.DetachTimeout, pol.MigrateTimeout, pol.AttachTimeout
+	}
+	o.retries, o.sparesUsed, o.degraded = 0, 0, 0
+	evMark := o.events.Len()
 	start := p.Now()
+
+	finish := func(out Outcome) {
+		rep.Retries, rep.SparesUsed, rep.DegradedToTCP = o.retries, o.sparesUsed, o.degraded
+		rep.Events = append([]metrics.Event(nil), o.events.Since(evMark)...)
+		rep.Outcome = out
+		rep.Total = p.Now() - start
+	}
+	classify := func() Outcome {
+		switch {
+		case o.degraded > 0:
+			return OutcomeDegradedTCP
+		case o.retries > 0 || o.sparesUsed > 0:
+			return OutcomeRetriedOK
+		default:
+			return OutcomeClean
+		}
+	}
 
 	// Trigger: the cloud scheduler asks the MPI runtime to checkpoint.
 	ckptDone, err := o.job.RequestCheckpoint()
@@ -195,7 +303,17 @@ func (o *Orchestrator) run(p *sim.Proc, dsts []*hw.Node, policy AttachPolicy, mo
 	}
 
 	// Phase 0 — coordination: all processes quiesce into SymVirt wait.
-	o.ctl.WaitAll(p)
+	// A quiesce that never completes cannot be rolled back (signalling
+	// before wait_all is a protocol violation), so a timeout here is
+	// surfaced as-is.
+	if err := o.watch(p, "coordination", coordT, func(wp *sim.Proc) error {
+		o.ctl.WaitAll(wp)
+		return nil
+	}); err != nil {
+		o.events.Record(metrics.EventPhaseTimeout, "coordination", "", err.Error())
+		finish(OutcomeRolledBack)
+		return rep, err
+	}
 	rep.Coordination = p.Now() - start
 
 	// Cross-node migrations run under migration noise for the rest of
@@ -222,18 +340,48 @@ func (o *Orchestrator) run(p *sim.Proc, dsts []*hw.Node, policy AttachPolicy, mo
 	// re-attach devices wherever the VM currently sits on an HCA node —
 	// and release the guests before surfacing the error. Without this, a
 	// failed migration would leave the whole MPI job frozen forever.
-	abort := func(stage string, cause error) (Report, error) {
-		_ = o.ctl.DeviceAttach(p, DeviceTag, o.opts.HostPCIID) // best effort, idempotent
+	abort := func(st stage, name string, cause error) (Report, error) {
+		o.events.Record(metrics.EventRollback, name, "", cause.Error())
+		// The migration is over; rollback hotplug runs without precopy
+		// traffic, so it must not be billed the migration-noise inflation.
+		for _, t := range o.tgts {
+			t.VM.SetHotplugNoise(false)
+		}
+		// Re-attach is only meaningful if some VM currently sits on an
+		// HCA-equipped node; on a pure-Ethernet placement the fan-out
+		// (and its per-phase confirm cost) is skipped outright.
+		anyHCA := false
+		for _, t := range o.tgts {
+			if t.VM.Node().HCA != nil {
+				anyHCA = true
+			}
+		}
+		if anyHCA {
+			_ = o.ctl.DeviceAttach(p, DeviceTag, o.opts.HostPCIID) // best effort, idempotent
+		}
 		_ = o.ctl.Signal(symvirt.TokenProceed)
+		if st == stageDetach {
+			// The guests were still in the checkpoint wait: the proceed
+			// token only moves them into the continue wait. Meet them
+			// there and release that round too, or ckptDone never
+			// resolves and the job stays frozen.
+			o.ctl.WaitAll(p)
+			_ = o.ctl.Signal(symvirt.TokenProceed)
+		}
 		ckptDone.Wait(p)
-		rep.Total = p.Now() - start
-		return rep, fmt.Errorf("ninja: %s: %w (rolled back; job resumed in place)", stage, cause)
+		finish(OutcomeRolledBack)
+		return rep, fmt.Errorf("ninja: %s: %w (rolled back; job resumed in place)", name, cause)
 	}
 
-	// Phase 1 — detach VMM-bypass devices.
+	// Phase 1 — detach VMM-bypass devices. Retried under a watchdog: a
+	// lost DEVICE_DELETED leaves an agent waiting forever, but the
+	// device is actually gone, so the re-run observes it missing and
+	// completes immediately.
 	mark := p.Now()
-	if err := o.ctl.DeviceDetach(p, DeviceTag); err != nil {
-		return abort("detach", err)
+	if err := o.retryPhase(p, "detach", detachT, func(wp *sim.Proc) error {
+		return o.ctl.DeviceDetach(wp, DeviceTag)
+	}); err != nil {
+		return abort(stageDetach, "detach", err)
 	}
 	rep.Detach = p.Now() - mark
 	// TokenProceed ends the checkpoint callback; the guests immediately
@@ -243,41 +391,92 @@ func (o *Orchestrator) run(p *sim.Proc, dsts []*hw.Node, policy AttachPolicy, mo
 	}
 
 	// Phase 2 — parallel live migration.
-	o.ctl.WaitAll(p)
+	if err := o.watch(p, "pre-migration wait_all", coordT, func(wp *sim.Proc) error {
+		o.ctl.WaitAll(wp)
+		return nil
+	}); err != nil {
+		o.events.Record(metrics.EventPhaseTimeout, "pre-migration wait_all", "", err.Error())
+		finish(OutcomeRolledBack)
+		return rep, err
+	}
 	mark = p.Now()
+	switch mode {
+	case Cold:
+		var stats []vmm.ColdStats
+		err := o.watch(p, "cold migration", migT, func(wp *sim.Proc) error {
+			st, e := o.ctl.ColdMigrate(wp, dsts)
+			stats = st
+			return e
+		})
+		if err != nil && pol != nil {
+			stats, err = o.recoverCold(p, dsts, stats, err)
+		}
+		rep.ColdStats = stats
+		if err != nil {
+			return abort(stageMigrate, "cold migration", err)
+		}
+	default:
+		var stats []vmm.MigrationStats
+		err := o.watch(p, "migration", migT, func(wp *sim.Proc) error {
+			st, e := o.ctl.Migrate(wp, dsts)
+			stats = st
+			return e
+		})
+		if err != nil && pol != nil {
+			stats, err = o.recoverLive(p, dsts, stats, err)
+		}
+		rep.VMStats = stats
+		if err != nil {
+			return abort(stageMigrate, "migration", err)
+		}
+	}
+	rep.Migration = p.Now() - mark
+
+	// Phase 3 — re-attach wherever the VMs actually landed (spare
+	// substitution may have changed the plan) on HCA-equipped nodes.
 	needAttach := false
 	if policy == AttachAuto {
-		for _, d := range dsts {
-			if d.HCA != nil {
+		for _, t := range o.tgts {
+			if t.VM.Node().HCA != nil {
 				needAttach = true
 			}
 		}
 	}
-	switch mode {
-	case Cold:
-		stats, err := o.ctl.ColdMigrate(p, dsts)
-		if err != nil {
-			return abort("cold migration", err)
-		}
-		rep.ColdStats = stats
-	default:
-		stats, err := o.ctl.Migrate(p, dsts)
-		if err != nil {
-			return abort("migration", err)
-		}
-		rep.VMStats = stats
-	}
-	rep.Migration = p.Now() - mark
-
-	// Phase 3 — re-attach on HCA-equipped destinations.
 	if needAttach {
 		if err := o.ctl.Signal(symvirt.TokenHold); err != nil {
 			return rep, err
 		}
-		o.ctl.WaitAll(p)
+		if err := o.watch(p, "pre-attach wait_all", coordT, func(wp *sim.Proc) error {
+			o.ctl.WaitAll(wp)
+			return nil
+		}); err != nil {
+			o.events.Record(metrics.EventPhaseTimeout, "pre-attach wait_all", "", err.Error())
+			finish(OutcomeRolledBack)
+			return rep, err
+		}
 		mark = p.Now()
-		if err := o.ctl.DeviceAttach(p, DeviceTag, o.opts.HostPCIID); err != nil {
-			return abort("attach", err)
+		if err := o.retryPhase(p, "attach", attachT, func(wp *sim.Proc) error {
+			return o.ctl.DeviceAttach(wp, DeviceTag, o.opts.HostPCIID)
+		}); err != nil {
+			if pol != nil && pol.DegradeToTCP {
+				// Next rung of the degradation ladder: run on the
+				// destination without InfiniBand rather than migrate
+				// back. Every VM that should have the device but does
+				// not is marked degraded; its guest has no IB binding,
+				// so BTL reconstruction picks tcp.
+				for _, t := range o.tgts {
+					if t.VM.Node().HCA == nil {
+						continue
+					}
+					if _, _, present := t.VM.Bus().FindByTag(DeviceTag); !present {
+						o.degraded++
+						o.events.Record(metrics.EventDegraded, "attach", t.VM.Name(),
+							"device_add kept failing; continuing over the tcp BTL")
+					}
+				}
+			} else {
+				return abort(stageAttach, "attach", err)
+			}
 		}
 		rep.Attach = p.Now() - mark
 	}
@@ -289,8 +488,107 @@ func (o *Orchestrator) run(p *sim.Proc, dsts []*hw.Node, policy AttachPolicy, mo
 	}
 	ckptDone.Wait(p)
 	rep.Linkup = p.Now() - mark
-	rep.Total = p.Now() - start
+	finish(classify())
 	return rep, nil
+}
+
+// recoverLive retries failed per-VM live migrations under the policy,
+// substituting spare destinations for failed nodes. stats may be nil
+// (fan-out watchdog expiry); fanErr is the fan-out's error.
+func (o *Orchestrator) recoverLive(p *sim.Proc, dsts []*hw.Node, stats []vmm.MigrationStats, fanErr error) ([]vmm.MigrationStats, error) {
+	pol := o.opts.Retry
+	if stats == nil {
+		stats = make([]vmm.MigrationStats, len(o.tgts))
+	}
+	for i, t := range o.tgts {
+		failed := stats[i].Err != nil || t.VM.Node() != dsts[i]
+		if !failed {
+			continue
+		}
+		lastErr := stats[i].Err
+		if lastErr == nil {
+			lastErr = fmt.Errorf("ninja: %s not on destination after fan-out: %w", t.VM.Name(), fanErr)
+		}
+		backoff := pol.Backoff
+		for attempt := 2; attempt <= pol.attempts(); attempt++ {
+			if backoff > 0 {
+				p.Sleep(backoff)
+				backoff = pol.nextBackoff(backoff)
+			}
+			o.substituteSpare(dsts, i, t.VM.Name(), "migration")
+			o.events.Record(metrics.EventRetry, "migration", t.VM.Name(),
+				fmt.Sprintf("attempt %d/%d -> %s", attempt, pol.attempts(), dsts[i].Name))
+			st, err := o.ctl.MigrateOne(p, i, dsts[i])
+			if err == nil {
+				stats[i] = st
+				o.retries++
+				o.events.Record(metrics.EventRetryOK, "migration", t.VM.Name(), "")
+				lastErr = nil
+				break
+			}
+			lastErr = err
+			o.events.Record(metrics.EventPhaseError, "migration", t.VM.Name(), err.Error())
+		}
+		if lastErr != nil {
+			return stats, lastErr
+		}
+	}
+	return stats, nil
+}
+
+// recoverCold is recoverLive for the checkpoint/restart path. Save is
+// idempotent across retries (a VM already suspended to image skips
+// straight to restore), so a restore-side failure retries cheaply.
+func (o *Orchestrator) recoverCold(p *sim.Proc, dsts []*hw.Node, stats []vmm.ColdStats, fanErr error) ([]vmm.ColdStats, error) {
+	pol := o.opts.Retry
+	if stats == nil {
+		stats = make([]vmm.ColdStats, len(o.tgts))
+	}
+	for i, t := range o.tgts {
+		failed := t.VM.Saved() || t.VM.Node() != dsts[i]
+		if !failed {
+			continue
+		}
+		lastErr := fmt.Errorf("ninja: %s not restored on destination: %w", t.VM.Name(), fanErr)
+		backoff := pol.Backoff
+		for attempt := 2; attempt <= pol.attempts(); attempt++ {
+			if backoff > 0 {
+				p.Sleep(backoff)
+				backoff = pol.nextBackoff(backoff)
+			}
+			o.substituteSpare(dsts, i, t.VM.Name(), "cold migration")
+			o.events.Record(metrics.EventRetry, "cold migration", t.VM.Name(),
+				fmt.Sprintf("attempt %d/%d -> %s", attempt, pol.attempts(), dsts[i].Name))
+			st, err := o.ctl.ColdMigrateOne(p, i, dsts[i])
+			if err == nil {
+				stats[i] = st
+				o.retries++
+				o.events.Record(metrics.EventRetryOK, "cold migration", t.VM.Name(), "")
+				lastErr = nil
+				break
+			}
+			lastErr = err
+			o.events.Record(metrics.EventPhaseError, "cold migration", t.VM.Name(), err.Error())
+		}
+		if lastErr != nil {
+			return stats, lastErr
+		}
+	}
+	return stats, nil
+}
+
+// substituteSpare replaces dsts[i] with a node from the spare pool when
+// the planned destination is down and a pool is configured.
+func (o *Orchestrator) substituteSpare(dsts []*hw.Node, i int, vmName, phase string) {
+	if !dsts[i].Failed() || o.opts.Spares == nil {
+		return
+	}
+	if sp := o.opts.Spares.Acquire(dsts); sp != nil {
+		o.sparesUsed++
+		o.events.Record(metrics.EventSpareUsed, phase, vmName,
+			fmt.Sprintf("%s is down, redirecting to spare %s", dsts[i].Name, sp.Name))
+		dsts[i] = sp
+	}
 }
 
 // SelfMigrate runs the script with every VM migrating to its own node —

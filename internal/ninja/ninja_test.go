@@ -18,6 +18,7 @@ type rig struct {
 	tb    *hw.Testbed
 	ib    *hw.Cluster
 	eth   *hw.Cluster
+	nfs   *storage.NFS
 	vms   []*vmm.VM
 	job   *mpi.Job
 	orch  *Orchestrator
@@ -50,7 +51,7 @@ func newRig(t *testing.T, nVMs, ranksPerVM int, clr bool) *rig {
 		t.Fatal(err)
 	}
 	orch := New(job, Options{})
-	return &rig{k: k, tb: tb, ib: ibc, eth: ethc, vms: vms, job: job, orch: orch,
+	return &rig{k: k, tb: tb, ib: ibc, eth: ethc, nfs: nfs, vms: vms, job: job, orch: orch,
 		iters: make([]int, job.Size())}
 }
 

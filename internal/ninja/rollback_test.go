@@ -1,0 +1,320 @@
+package ninja
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/vmm"
+)
+
+// qmpFail returns hooks that make one QMP command fail persistently.
+func qmpFail(cmd string) *vmm.FaultHooks {
+	return &vmm.FaultHooks{QMPExec: func(v *vmm.VM, execute string) *vmm.QMPError {
+		if execute == cmd {
+			return &vmm.QMPError{Class: "GenericError", Desc: "test: injected " + cmd + " failure"}
+		}
+		return nil
+	}}
+}
+
+// TestRollbackInPlace injects an unrecoverable failure into each phase of
+// the script under the fail-fast (nil-policy) orchestrator and asserts
+// the abort path always releases the job: every rank finishes every
+// iteration, and the report carries the rollback outcome and a total.
+func TestRollbackInPlace(t *testing.T) {
+	cases := []struct {
+		name   string
+		cold   bool
+		dstIB  bool // attach phase runs only toward HCA-equipped nodes
+		inject func(r *rig)
+		// homebound asserts VM 0 never left its source node; attach
+		// failures strand the VM on the (working) destination instead.
+		homebound bool
+	}{
+		{
+			name: "detach", homebound: true,
+			inject: func(r *rig) { r.vms[0].SetFaultHooks(qmpFail("device_del")) },
+		},
+		{
+			name: "migration", homebound: true,
+			inject: func(r *rig) {
+				r.vms[0].SetFaultHooks(&vmm.FaultHooks{
+					MigrationPass: func(v *vmm.VM, pass int) error {
+						return fmt.Errorf("test: socket dropped at precopy pass %d", pass)
+					},
+				})
+			},
+		},
+		{
+			name: "cold-migration", cold: true, homebound: true,
+			inject: func(r *rig) { r.nfs.SetOffline(true) },
+		},
+		{
+			name: "attach", dstIB: true,
+			inject: func(r *rig) { r.vms[0].SetFaultHooks(qmpFail("device_add")) },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newRig(t, 2, 1, true)
+			tc.inject(r)
+			app := r.runApp(t, 30)
+			home := make([]*hw.Node, len(r.vms))
+			for i, vm := range r.vms {
+				home[i] = vm.Node()
+			}
+			dsts := r.ethDsts(2)
+			if tc.dstIB {
+				dsts = []*hw.Node{r.ib.Nodes[2], r.ib.Nodes[3]}
+			}
+			var rep Report
+			var err error
+			r.k.Go("driver", func(p *sim.Proc) {
+				p.Sleep(2 * sim.Second)
+				if tc.cold {
+					rep, err = r.orch.ColdMigrate(p, dsts)
+				} else {
+					rep, err = r.orch.Migrate(p, dsts)
+				}
+			})
+			r.k.Run()
+			if err == nil {
+				t.Fatal("migration succeeded despite injected fault")
+			}
+			if rep.Outcome != OutcomeRolledBack {
+				t.Fatalf("Outcome = %q, want %q (err: %v)", rep.Outcome, OutcomeRolledBack, err)
+			}
+			if rep.Total <= 0 {
+				t.Fatalf("Report.Total = %v, want > 0", rep.Total)
+			}
+			if !app.Done() {
+				t.Fatal("app did not finish: job frozen after rollback")
+			}
+			for rk, n := range r.iters {
+				if n != 30 {
+					t.Fatalf("rank %d completed %d/30 iterations", rk, n)
+				}
+			}
+			if tc.homebound && r.vms[0].Node() != home[0] {
+				t.Fatalf("VM 0 on %s, want %s (resumed in place)", r.vms[0].Node().Name, home[0].Name)
+			}
+		})
+	}
+}
+
+// TestDetachRetryAfterDroppedEvent loses one DEVICE_DELETED completion:
+// the first detach attempt times out, the re-run observes the device
+// already gone, and the migration completes.
+func TestDetachRetryAfterDroppedEvent(t *testing.T) {
+	r := newRig(t, 2, 1, true)
+	dropped := false
+	r.vms[0].SetFaultHooks(&vmm.FaultHooks{
+		DropEvent: func(v *vmm.VM, event string) bool {
+			if event == "DEVICE_DELETED" && !dropped {
+				dropped = true
+				return true
+			}
+			return false
+		},
+	})
+	pol := DefaultRetryPolicy()
+	pol.DetachTimeout = 20 * sim.Second
+	r.orch = New(r.job, Options{Retry: &pol})
+	app := r.runApp(t, 30)
+	var rep Report
+	var err error
+	r.k.Go("driver", func(p *sim.Proc) {
+		p.Sleep(2 * sim.Second)
+		rep, err = r.orch.Migrate(p, r.ethDsts(2))
+	})
+	r.k.Run()
+	if err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	if !dropped {
+		t.Fatal("fault never fired")
+	}
+	if rep.Outcome != OutcomeRetriedOK || rep.Retries < 1 {
+		t.Fatalf("Outcome = %q (retries %d), want retried-ok with ≥1 retry", rep.Outcome, rep.Retries)
+	}
+	if !app.Done() {
+		t.Fatal("app did not finish")
+	}
+	for i, vm := range r.vms {
+		if vm.Node() != r.eth.Nodes[i] {
+			t.Fatalf("VM %d on %s, want %s", i, vm.Node().Name, r.eth.Nodes[i].Name)
+		}
+	}
+}
+
+// TestMigrateAbortRetriedOK drops the migration socket once mid-precopy;
+// the per-VM retry re-runs the transfer and the job lands on the
+// destination with no lost iterations.
+func TestMigrateAbortRetriedOK(t *testing.T) {
+	r := newRig(t, 2, 1, true)
+	fired := false
+	r.vms[0].SetFaultHooks(&vmm.FaultHooks{
+		MigrationPass: func(v *vmm.VM, pass int) error {
+			if !fired {
+				fired = true
+				return fmt.Errorf("test: socket dropped at precopy pass %d", pass)
+			}
+			return nil
+		},
+	})
+	pol := DefaultRetryPolicy()
+	r.orch = New(r.job, Options{Retry: &pol})
+	app := r.runApp(t, 30)
+	var rep Report
+	var err error
+	r.k.Go("driver", func(p *sim.Proc) {
+		p.Sleep(2 * sim.Second)
+		rep, err = r.orch.Migrate(p, r.ethDsts(2))
+	})
+	r.k.Run()
+	if err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	if !fired {
+		t.Fatal("fault never fired")
+	}
+	if rep.Outcome != OutcomeRetriedOK || rep.Retries < 1 {
+		t.Fatalf("Outcome = %q (retries %d), want retried-ok", rep.Outcome, rep.Retries)
+	}
+	if r.vms[0].Node() != r.eth.Nodes[0] {
+		t.Fatalf("VM 0 on %s, want %s", r.vms[0].Node().Name, r.eth.Nodes[0].Name)
+	}
+	if !app.Done() {
+		t.Fatal("app did not finish")
+	}
+	for rk, n := range r.iters {
+		if n != 30 {
+			t.Fatalf("rank %d completed %d/30 iterations", rk, n)
+		}
+	}
+}
+
+// testSpares is a minimal SparePool for in-package tests (the production
+// implementation lives in internal/scheduler, which imports this package).
+type testSpares struct{ nodes []*hw.Node }
+
+func (s *testSpares) Acquire(exclude []*hw.Node) *hw.Node {
+	for i, n := range s.nodes {
+		if n.Failed() {
+			continue
+		}
+		skip := false
+		for _, x := range exclude {
+			if x == n {
+				skip = true
+			}
+		}
+		if skip {
+			continue
+		}
+		s.nodes = append(s.nodes[:i], s.nodes[i+1:]...)
+		return n
+	}
+	return nil
+}
+
+// TestSpareDestinationAfterNodeCrash fails one planned destination before
+// the transfer; the orchestrator substitutes a spare node and completes.
+func TestSpareDestinationAfterNodeCrash(t *testing.T) {
+	r := newRig(t, 2, 1, true)
+	r.eth.Nodes[0].Fail()
+	pol := DefaultRetryPolicy()
+	r.orch = New(r.job, Options{Retry: &pol, Spares: &testSpares{nodes: []*hw.Node{r.eth.Nodes[2]}}})
+	app := r.runApp(t, 30)
+	var rep Report
+	var err error
+	r.k.Go("driver", func(p *sim.Proc) {
+		p.Sleep(2 * sim.Second)
+		rep, err = r.orch.Migrate(p, r.ethDsts(2))
+	})
+	r.k.Run()
+	if err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	if rep.SparesUsed != 1 || rep.Outcome != OutcomeRetriedOK {
+		t.Fatalf("Outcome = %q (spares %d), want retried-ok with 1 spare", rep.Outcome, rep.SparesUsed)
+	}
+	if r.vms[0].Node() != r.eth.Nodes[2] {
+		t.Fatalf("VM 0 on %s, want spare %s", r.vms[0].Node().Name, r.eth.Nodes[2].Name)
+	}
+	if r.vms[1].Node() != r.eth.Nodes[1] {
+		t.Fatalf("VM 1 on %s, want %s", r.vms[1].Node().Name, r.eth.Nodes[1].Name)
+	}
+	if !app.Done() {
+		t.Fatal("app did not finish")
+	}
+}
+
+// TestLinkupStallDegradesToTCP sticks the destination ports in POLLING
+// past the linkup timeout: the ranks must abandon InfiniBand and continue
+// over the tcp BTL rather than wedge (degradation ladder, bottom rung).
+func TestLinkupStallDegradesToTCP(t *testing.T) {
+	r := newRig(t, 2, 1, true)
+	dsts := []*hw.Node{r.ib.Nodes[2], r.ib.Nodes[3]}
+	for _, n := range dsts {
+		n.HCA.InjectTrainingStall(120 * sim.Second)
+	}
+	pol := DefaultRetryPolicy()
+	r.orch = New(r.job, Options{Retry: &pol})
+	app := r.runApp(t, 30)
+	var rep Report
+	var err error
+	r.k.Go("driver", func(p *sim.Proc) {
+		p.Sleep(2 * sim.Second)
+		rep, err = r.orch.Migrate(p, dsts)
+	})
+	r.k.Run()
+	if err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	if rep.Outcome != OutcomeDegradedTCP || rep.DegradedToTCP != 2 {
+		t.Fatalf("Outcome = %q (degraded %d), want degraded-to-tcp for both VMs", rep.Outcome, rep.DegradedToTCP)
+	}
+	if name, _ := r.job.Rank(0).TransportTo(1); name != "tcp" {
+		t.Fatalf("transport = %s, want tcp after degradation", name)
+	}
+	if !app.Done() {
+		t.Fatal("app did not finish")
+	}
+}
+
+// TestRetryPolicyPreservesCleanTiming runs the same self-migration with
+// and without a retry policy: with zero faults the watchdogs must not
+// perturb a single phase duration (seed determinism).
+func TestRetryPolicyPreservesCleanTiming(t *testing.T) {
+	runOnce := func(withPolicy bool) Report {
+		r := newRig(t, 2, 1, true)
+		if withPolicy {
+			pol := DefaultRetryPolicy()
+			r.orch = New(r.job, Options{Retry: &pol})
+		}
+		r.runApp(t, 30)
+		var rep Report
+		var err error
+		r.k.Go("driver", func(p *sim.Proc) {
+			p.Sleep(2 * sim.Second)
+			rep, err = r.orch.SelfMigrate(p)
+		})
+		r.k.Run()
+		if err != nil {
+			t.Fatalf("SelfMigrate(policy=%v): %v", withPolicy, err)
+		}
+		return rep
+	}
+	base, guarded := runOnce(false), runOnce(true)
+	if base.Coordination != guarded.Coordination || base.Detach != guarded.Detach ||
+		base.Migration != guarded.Migration || base.Attach != guarded.Attach ||
+		base.Linkup != guarded.Linkup || base.Total != guarded.Total {
+		t.Fatalf("phase timings diverge under zero-fault policy:\nbase:    %+v\nguarded: %+v", base, guarded)
+	}
+	if guarded.Outcome != OutcomeClean || guarded.Retries != 0 {
+		t.Fatalf("guarded run Outcome = %q (retries %d), want clean/0", guarded.Outcome, guarded.Retries)
+	}
+}

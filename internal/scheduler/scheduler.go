@@ -121,3 +121,44 @@ func (s *Scheduler) Start() (*sim.Future[struct{}], error) {
 
 // Outcomes returns the executed events in completion order.
 func (s *Scheduler) Outcomes() []Outcome { return s.done }
+
+// Spares is the scheduler's pool of standby destination nodes, handed to
+// the orchestrator (ninja.Options.Spares) so a migration whose planned
+// destination died mid-flight can be redirected instead of aborted. It
+// implements ninja.SparePool.
+type Spares struct {
+	nodes []*hw.Node
+}
+
+// NewSpares builds a pool from standby nodes (order is preference order).
+func NewSpares(nodes ...*hw.Node) *Spares {
+	return &Spares{nodes: append([]*hw.Node(nil), nodes...)}
+}
+
+// Add appends a standby node to the pool.
+func (s *Spares) Add(n *hw.Node) { s.nodes = append(s.nodes, n) }
+
+// Remaining returns how many spares are still available.
+func (s *Spares) Remaining() int { return len(s.nodes) }
+
+// Acquire removes and returns the first healthy spare that is not already
+// a planned destination, or nil when none qualifies.
+func (s *Spares) Acquire(exclude []*hw.Node) *hw.Node {
+	for i, n := range s.nodes {
+		if n.Failed() || contains(exclude, n) {
+			continue
+		}
+		s.nodes = append(s.nodes[:i], s.nodes[i+1:]...)
+		return n
+	}
+	return nil
+}
+
+func contains(ns []*hw.Node, n *hw.Node) bool {
+	for _, x := range ns {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}

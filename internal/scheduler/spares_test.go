@@ -1,0 +1,41 @@
+package scheduler
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func TestSparesAcquire(t *testing.T) {
+	k := sim.NewKernel()
+	tb := hw.NewTestbed(k)
+	c := tb.AddCluster("c", 4, hw.AGCNodeSpec)
+	s := NewSpares(c.Nodes...)
+	if s.Remaining() != 4 {
+		t.Fatalf("Remaining = %d, want 4", s.Remaining())
+	}
+
+	c.Nodes[0].Fail()                        // skipped: failed
+	got := s.Acquire([]*hw.Node{c.Nodes[1]}) // skipped: excluded
+	if got != c.Nodes[2] {
+		t.Fatalf("Acquire = %v, want node 2 (first healthy, non-excluded)", got)
+	}
+	if s.Remaining() != 3 {
+		t.Fatalf("Remaining = %d after Acquire, want 3", s.Remaining())
+	}
+	// The acquired node is gone; next call moves on.
+	if got := s.Acquire(nil); got != c.Nodes[1] {
+		t.Fatalf("second Acquire = %v, want node 1", got)
+	}
+
+	// Only the failed node is left (plus nothing healthy) → nil.
+	if got := s.Acquire([]*hw.Node{c.Nodes[3]}); got != nil {
+		t.Fatalf("Acquire with everything failed/excluded = %v, want nil", got)
+	}
+
+	s.Add(c.Nodes[3]) // duplicate add is the caller's business; pool is a list
+	if got := s.Acquire(nil); got != c.Nodes[3] {
+		t.Fatalf("Acquire after Add = %v, want node 3", got)
+	}
+}

@@ -72,6 +72,37 @@ func WaitAll[T any](p *Proc, fs ...*Future[T]) {
 	}
 }
 
+// WaitTimeout blocks until f resolves or d elapses, whichever comes first.
+// ok reports whether the future resolved within the window; on timeout the
+// zero value is returned and the future is left untouched (it may still
+// resolve later for other waiters). A non-positive d degenerates to a
+// plain Wait. This is the primitive watchdogs are built from: it bounds a
+// wait in simulated time without cancelling the underlying operation.
+func WaitTimeout[T any](p *Proc, f *Future[T], d Time) (v T, ok bool) {
+	if f.Done() {
+		return f.Value(), true
+	}
+	if d <= 0 {
+		return f.Wait(p), true
+	}
+	race := NewFuture[bool](f.k)
+	f.OnDone(func(T) {
+		if !race.Done() {
+			race.Set(true)
+		}
+	})
+	timer := f.k.Schedule(d, func() {
+		if !race.Done() {
+			race.Set(false)
+		}
+	})
+	if race.Wait(p) {
+		timer.Cancel()
+		return f.Value(), true
+	}
+	return v, false
+}
+
 // Chan is a simulated channel with FIFO semantics and an optional buffer,
 // analogous to a Go channel but integrated with the simulation clock.
 type Chan[T any] struct {

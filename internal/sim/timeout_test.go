@@ -1,0 +1,66 @@
+package sim
+
+import "testing"
+
+func TestWaitTimeoutResolvesBeforeDeadline(t *testing.T) {
+	k := NewKernel()
+	f := NewFuture[int](k)
+	k.Schedule(Second, func() { f.Set(42) })
+	k.Go("w", func(p *Proc) {
+		v, ok := WaitTimeout(p, f, 5*Second)
+		if !ok || v != 42 {
+			t.Errorf("WaitTimeout = (%d, %v), want (42, true)", v, ok)
+		}
+		if p.Now() != Second {
+			t.Errorf("resolved at %v, want 1s", p.Now())
+		}
+	})
+	k.Run()
+}
+
+func TestWaitTimeoutExpires(t *testing.T) {
+	k := NewKernel()
+	f := NewFuture[int](k)
+	k.Go("w", func(p *Proc) {
+		v, ok := WaitTimeout(p, f, 2*Second)
+		if ok {
+			t.Errorf("WaitTimeout = (%d, true), want timeout", v)
+		}
+		if p.Now() != 2*Second {
+			t.Errorf("timed out at %v, want 2s", p.Now())
+		}
+	})
+	k.Run()
+}
+
+func TestWaitTimeoutZeroIsUnbounded(t *testing.T) {
+	k := NewKernel()
+	f := NewFuture[string](k)
+	k.Schedule(10*Second, func() { f.Set("late") })
+	k.Go("w", func(p *Proc) {
+		v, ok := WaitTimeout(p, f, 0)
+		if !ok || v != "late" {
+			t.Errorf("WaitTimeout = (%q, %v), want (late, true)", v, ok)
+		}
+		if p.Now() != 10*Second {
+			t.Errorf("resolved at %v, want 10s", p.Now())
+		}
+	})
+	k.Run()
+}
+
+func TestWaitTimeoutAlreadyDone(t *testing.T) {
+	k := NewKernel()
+	f := NewFuture[int](k)
+	f.Set(7)
+	k.Go("w", func(p *Proc) {
+		v, ok := WaitTimeout(p, f, Second)
+		if !ok || v != 7 {
+			t.Errorf("WaitTimeout = (%d, %v), want (7, true)", v, ok)
+		}
+		if p.Now() != 0 {
+			t.Errorf("returned at %v, want 0 (no wait)", p.Now())
+		}
+	})
+	k.Run()
+}

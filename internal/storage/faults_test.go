@@ -1,0 +1,70 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestOfflineFailsIO(t *testing.T) {
+	k := sim.NewKernel()
+	nfs := NewNFS("io")
+	nfs.EnableIO(k, 100, 100)
+	nfs.SetOffline(true)
+	if !nfs.Offline() {
+		t.Fatal("Offline() = false after SetOffline(true)")
+	}
+	k.Go("w", func(p *sim.Proc) {
+		if err := nfs.Write(p, 100); !errors.Is(err, ErrOffline) {
+			t.Errorf("Write err = %v, want ErrOffline", err)
+		}
+		if err := nfs.Read(p, 100); !errors.Is(err, ErrOffline) {
+			t.Errorf("Read err = %v, want ErrOffline", err)
+		}
+		if p.Now() != 0 {
+			t.Errorf("offline IO consumed %v of simulated time, want immediate failure", p.Now())
+		}
+		// Back online, the same transfer succeeds and costs time again.
+		nfs.SetOffline(false)
+		if err := nfs.Read(p, 100); err != nil {
+			t.Errorf("Read after restore: %v", err)
+		}
+		if p.Now() == 0 {
+			t.Error("restored read cost no time")
+		}
+	})
+	k.Run()
+}
+
+func TestSlowdownScalesServiceTime(t *testing.T) {
+	k := sim.NewKernel()
+	nfs := NewNFS("io")
+	nfs.EnableIO(k, 100, 100) // 100 B/s
+	nfs.SetSlowdown(3)
+	var done sim.Time
+	k.Go("r", func(p *sim.Proc) {
+		if err := nfs.Read(p, 100); err != nil { // 1 s clean, 3 s degraded
+			t.Errorf("Read: %v", err)
+		}
+		done = p.Now()
+	})
+	k.Run()
+	if done < 2900*sim.Millisecond || done > 3100*sim.Millisecond {
+		t.Fatalf("degraded read took %v, want ≈3s", done)
+	}
+	// Factors ≤1 clear the slowdown.
+	nfs.SetSlowdown(0.5)
+	var done2 sim.Time
+	start := k.Now()
+	k.Go("r2", func(p *sim.Proc) {
+		if err := nfs.Read(p, 100); err != nil {
+			t.Errorf("Read: %v", err)
+		}
+		done2 = p.Now() - start
+	})
+	k.Run()
+	if done2 < 900*sim.Millisecond || done2 > 1100*sim.Millisecond {
+		t.Fatalf("clean read took %v, want ≈1s", done2)
+	}
+}

@@ -6,14 +6,20 @@ package storage
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/hw"
 	"repro/internal/sim"
 )
 
-// ErrNotShared is returned when a migration's source and destination do
-// not mount a common store.
-var ErrNotShared = errors.New("storage: nodes do not share a store")
+// Errors returned by store operations.
+var (
+	// ErrNotShared is returned when a migration's source and destination
+	// do not mount a common store.
+	ErrNotShared = errors.New("storage: nodes do not share a store")
+	// ErrOffline is returned while the server is in an injected outage.
+	ErrOffline = errors.New("storage: server offline")
+)
 
 // NFS is a shared store with a mount set and an optional I/O service model
 // (a single server whose read and write bandwidth is shared fairly by
@@ -25,6 +31,9 @@ type NFS struct {
 
 	readPS  *sim.PS
 	writePS *sim.PS
+
+	slowdown float64 // service-time multiplier (fault injection; 0/1 = none)
+	offline  bool    // injected outage: requests fail immediately
 }
 
 // NewNFS returns an empty store with instantaneous I/O (call EnableIO to
@@ -40,18 +49,52 @@ func (s *NFS) EnableIO(k *sim.Kernel, readBW, writeBW float64) {
 	s.writePS = sim.NewPS(k, writeBW, 0)
 }
 
-// Write stores bytes, blocking for the server's share of write bandwidth.
-func (s *NFS) Write(p *sim.Proc, bytes float64) {
-	if s.writePS != nil && bytes > 0 {
-		s.writePS.Serve(p, bytes)
+// SetSlowdown stretches every transfer's service time by factor (fault
+// injection: a degraded NFS server). Factors ≤1 clear the slowdown.
+func (s *NFS) SetSlowdown(factor float64) {
+	if factor <= 1 {
+		factor = 0
 	}
+	s.slowdown = factor
+}
+
+// SetOffline toggles an injected outage. While offline, Read and Write
+// fail immediately with ErrOffline (the NFS client would retry for minutes
+// and then surface EIO; the caller owns the retry policy here).
+func (s *NFS) SetOffline(on bool) { s.offline = on }
+
+// Offline reports whether the server is in an injected outage.
+func (s *NFS) Offline() bool { return s.offline }
+
+func (s *NFS) scaled(bytes float64) float64 {
+	if s.slowdown > 1 {
+		return bytes * s.slowdown
+	}
+	return bytes
+}
+
+// Write stores bytes, blocking for the server's share of write bandwidth.
+// It fails if the server is offline.
+func (s *NFS) Write(p *sim.Proc, bytes float64) error {
+	if s.offline {
+		return fmt.Errorf("%w: %s (write)", ErrOffline, s.Name)
+	}
+	if s.writePS != nil && bytes > 0 {
+		s.writePS.Serve(p, s.scaled(bytes))
+	}
+	return nil
 }
 
 // Read fetches bytes, blocking for the server's share of read bandwidth.
-func (s *NFS) Read(p *sim.Proc, bytes float64) {
-	if s.readPS != nil && bytes > 0 {
-		s.readPS.Serve(p, bytes)
+// It fails if the server is offline.
+func (s *NFS) Read(p *sim.Proc, bytes float64) error {
+	if s.offline {
+		return fmt.Errorf("%w: %s (read)", ErrOffline, s.Name)
 	}
+	if s.readPS != nil && bytes > 0 {
+		s.readPS.Serve(p, s.scaled(bytes))
+	}
+	return nil
 }
 
 // Mount exports the store to a node.

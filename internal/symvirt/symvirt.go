@@ -236,12 +236,28 @@ func (c *Controller) Migrate(p *sim.Proc, dsts []*hw.Node) ([]vmm.MigrationStats
 		idx := indexOf(c.targets, t)
 		fut, err := t.VM.Monitor().Migrate(dsts[idx])
 		if err != nil {
+			stats[idx].Err = err
 			return err
 		}
 		stats[idx] = fut.Wait(ap)
-		return nil
+		return stats[idx].Err
 	})
 	return stats, err
+}
+
+// MigrateOne live-migrates a single target (by index) to dst — the
+// orchestrator's per-VM retry primitive after a fanout partially failed.
+func (c *Controller) MigrateOne(p *sim.Proc, idx int, dst *hw.Node) (vmm.MigrationStats, error) {
+	if idx < 0 || idx >= len(c.targets) {
+		return vmm.MigrationStats{}, fmt.Errorf("%w: migrate index %d of %d", ErrScriptOrder, idx, len(c.targets))
+	}
+	t := c.targets[idx]
+	fut, err := t.VM.Monitor().Migrate(dst)
+	if err != nil {
+		return vmm.MigrationStats{}, err
+	}
+	st := fut.Wait(p)
+	return st, st.Err
 }
 
 // ColdMigrate checkpoint/restarts every VM through the shared store
@@ -254,21 +270,47 @@ func (c *Controller) ColdMigrate(p *sim.Proc, dsts []*hw.Node) ([]vmm.ColdStats,
 	stats := make([]vmm.ColdStats, len(c.targets))
 	err := c.agentFanout(p, "cold-migrate", func(ap *sim.Proc, t Target) error {
 		idx := indexOf(c.targets, t)
-		save, err := t.VM.SaveImage(ap)
+		st, err := c.coldMigrateTarget(ap, t, dsts[idx])
 		if err != nil {
 			return err
 		}
-		restore, err := t.VM.RestoreOn(ap, dsts[idx])
-		if err != nil {
-			return err
-		}
-		stats[idx] = vmm.ColdStats{
-			From: save.From, To: restore.To, ImageBytes: save.ImageBytes,
-			SaveTime: save.SaveTime, RestoreTime: restore.RestoreTime,
-		}
+		stats[idx] = st
 		return nil
 	})
 	return stats, err
+}
+
+// ColdMigrateOne checkpoint/restarts a single target (by index) to dst.
+// Like ColdMigrate it is idempotent across retries: a VM already suspended
+// to image (a previous attempt failed after savevm) skips straight to the
+// restore.
+func (c *Controller) ColdMigrateOne(p *sim.Proc, idx int, dst *hw.Node) (vmm.ColdStats, error) {
+	if idx < 0 || idx >= len(c.targets) {
+		return vmm.ColdStats{}, fmt.Errorf("%w: cold-migrate index %d of %d", ErrScriptOrder, idx, len(c.targets))
+	}
+	return c.coldMigrateTarget(p, c.targets[idx], dst)
+}
+
+func (c *Controller) coldMigrateTarget(p *sim.Proc, t Target, dst *hw.Node) (vmm.ColdStats, error) {
+	var save vmm.ColdStats
+	if t.VM.Saved() {
+		// Retry after a failed restore: the image is already on the store.
+		save.From, save.ImageBytes = t.VM.Node().Name, t.VM.ImageBytes()
+	} else {
+		var err error
+		save, err = t.VM.SaveImage(p)
+		if err != nil {
+			return save, err
+		}
+	}
+	restore, err := t.VM.RestoreOn(p, dst)
+	if err != nil {
+		return save, err
+	}
+	return vmm.ColdStats{
+		From: save.From, To: restore.To, ImageBytes: save.ImageBytes,
+		SaveTime: save.SaveTime, RestoreTime: restore.RestoreTime,
+	}, nil
 }
 
 func indexOf(ts []Target, t Target) int {

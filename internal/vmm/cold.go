@@ -64,13 +64,21 @@ func (vm *VM) SaveImage(p *sim.Proc) (ColdStats, error) {
 		return st, ErrNoStorage
 	}
 	start := p.Now()
+	wasRunning := vm.state == Running
 	vm.Stop()
 	st.From = vm.node.Name
 	st.ImageBytes = vm.ImageBytes()
 	// The snapshot writer walks guest RAM like the migration thread...
 	vm.node.CPU.Serve(p, vm.mem.TotalBytes()/vm.params.ScanRate)
 	// ...and streams the non-uniform pages to the store.
-	vm.store.Write(p, st.ImageBytes)
+	if err := vm.store.Write(p, st.ImageBytes); err != nil {
+		// Rollback in place: the guest memory is intact, so the VM simply
+		// resumes on its current node with nothing saved.
+		if wasRunning {
+			vm.Cont()
+		}
+		return st, fmt.Errorf("vmm: savevm %s: %w", vm.Name(), err)
+	}
 	vm.node.FreeMemory(vm.cfg.MemoryBytes)
 	vm.saved = true
 	st.SaveTime = p.Now() - start
@@ -97,7 +105,12 @@ func (vm *VM) RestoreOn(p *sim.Proc, dst *hw.Node) (ColdStats, error) {
 	start := p.Now()
 	st.From, st.To = vm.node.Name, dst.Name
 	st.ImageBytes = vm.ImageBytes()
-	vm.store.Read(p, st.ImageBytes)
+	if err := vm.store.Read(p, st.ImageBytes); err != nil {
+		// The image is still on the store; release the reservation and
+		// leave the VM suspended so a retry (possibly elsewhere) works.
+		dst.FreeMemory(vm.cfg.MemoryBytes)
+		return st, fmt.Errorf("vmm: loadvm %s: %w", vm.Name(), err)
+	}
 	dst.CPU.Serve(p, st.ImageBytes/vm.params.ScanRate) // page-in & fixups
 	vm.vnic.SetUplink(dst.NIC)
 	vm.node = dst

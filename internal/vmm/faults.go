@@ -1,0 +1,32 @@
+package vmm
+
+// FaultHooks are optional injection points the VMM consults at its
+// failure-prone boundaries. They model the failures the paper's real
+// hardware exhibits — migration socket drops mid-round, QMP commands that
+// error or whose completion event is lost — without perturbing the happy
+// path: every hook may be nil, and hooks run on the DES clock, so a fault
+// plan is exactly as deterministic as the simulation itself.
+type FaultHooks struct {
+	// MigrationPass is consulted before each precopy pass (1-based). A
+	// non-nil error aborts the live migration mid-round: the destination
+	// reservation is released, the VM stays on the source, and the stats
+	// future resolves with Err set.
+	MigrationPass func(vm *VM, pass int) error
+
+	// QMPExec intercepts a QMP command by name ("device_del",
+	// "device_add", ...). A non-nil error is returned to the issuing
+	// agent instead of executing the command.
+	QMPExec func(vm *VM, execute string) *QMPError
+
+	// DropEvent, when it returns true, suppresses delivery of the named
+	// asynchronous QMP event (e.g. DEVICE_DELETED) — a lost completion.
+	// The underlying operation still happens; only the notification is
+	// swallowed, which is what makes retries observable as idempotent.
+	DropEvent func(vm *VM, event string) bool
+}
+
+// SetFaultHooks installs (or, with nil, removes) the VM's fault hooks.
+func (vm *VM) SetFaultHooks(h *FaultHooks) { vm.faults = h }
+
+// FaultHooks returns the installed hooks, or nil.
+func (vm *VM) FaultHooks() *FaultHooks { return vm.faults }

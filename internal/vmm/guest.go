@@ -114,3 +114,19 @@ func (g *Guest) WaitIBLinkup(p *sim.Proc) error {
 	}
 	return g.ib.WaitActive(p)
 }
+
+// WaitIBLinkupTimeout is WaitIBLinkup with a simulated-time bound: a port
+// stuck in Polling past d surfaces as fabric.ErrTrainingTimeout instead of
+// blocking the orchestration forever. d <= 0 waits unbounded.
+func (g *Guest) WaitIBLinkupTimeout(p *sim.Proc, d sim.Time) error {
+	if g.ib == nil {
+		return fmt.Errorf("vmm: %s: no IB device bound", g.vm.Name())
+	}
+	return g.ib.WaitActiveTimeout(p, d)
+}
+
+// AbandonIB drops the guest's IB binding without touching the device: the
+// orchestrator's degradation path after a link-up timeout. With no bound
+// HCA, IBUsable() is false and BTL reconstruction selects the tcp path —
+// the job proceeds over Ethernet instead of rolling back.
+func (g *Guest) AbandonIB() { g.ib = nil }

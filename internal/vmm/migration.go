@@ -23,6 +23,10 @@ type MigrationStats struct {
 	WireBytes float64
 	// LogicalBytes is the guest data covered (pre-compression).
 	LogicalBytes float64
+	// Err is non-nil when the migration aborted mid-flight (injected
+	// socket drop, destination failure): the VM stayed on the source and
+	// kept running.
+	Err error
 }
 
 // Migrate starts a precopy live migration of the VM to dst. It returns an
@@ -48,6 +52,9 @@ func (vm *VM) Migrate(dst *hw.Node) (*sim.Future[MigrationStats], error) {
 	}
 	src := vm.node
 	if dst != src {
+		if dst.Failed() {
+			return nil, fmt.Errorf("vmm: migrate %s: destination %s is down", vm.Name(), dst.Name)
+		}
 		if vm.store != nil && !vm.store.SharedBy(src, dst) {
 			return nil, storage.ErrNotShared
 		}
@@ -121,6 +128,19 @@ func (vm *VM) runMigration(p *sim.Proc, src, dst *hw.Node) MigrationStats {
 	costs := vm.mem.firstPassCosts(params.PageBytes)
 	for {
 		stats.Iterations++
+		if h := vm.faults; h != nil && h.MigrationPass != nil {
+			if err := h.MigrationPass(vm, stats.Iterations); err != nil {
+				// Mid-round abort: the destination QEMU dies with the
+				// socket; the source VM never stopped, so it just keeps
+				// running. Release the destination reservation.
+				if dst != src {
+					dst.FreeMemory(vm.cfg.MemoryBytes)
+				}
+				stats.Err = fmt.Errorf("vmm: migrate %s pass %d: %w", vm.Name(), stats.Iterations, err)
+				stats.Duration = p.Now() - stats.Start
+				return stats
+			}
+		}
 		passStart := p.Now()
 		onePass(costs)
 		vm.mem.accumulateDirty((p.Now() - passStart).Seconds(), appRunning())

@@ -79,7 +79,11 @@ func (q *QMP) WaitEvent(p *sim.Proc, name string) QMPEvent {
 }
 
 func (q *QMP) emit(name string, data map[string]any) {
-	q.events = append(q.events, QMPEvent{Event: name, Data: data, Timestamp: q.mon.vm.k.Now()})
+	vm := q.mon.vm
+	if h := vm.faults; h != nil && h.DropEvent != nil && h.DropEvent(vm, name) {
+		return // injected fault: the completion notification is lost
+	}
+	q.events = append(q.events, QMPEvent{Event: name, Data: data, Timestamp: vm.k.Now()})
 	q.cond.Broadcast()
 }
 
@@ -103,6 +107,12 @@ func (q *QMP) Execute(raw []byte) []byte {
 	var cmd QMPCommand
 	if err := json.Unmarshal(raw, &cmd); err != nil {
 		return qmpErr(nil, "GenericError", "invalid JSON: "+err.Error())
+	}
+	vm := q.mon.vm
+	if h := vm.faults; h != nil && h.QMPExec != nil {
+		if qe := h.QMPExec(vm, cmd.Execute); qe != nil {
+			return qmpErr(cmd.ID, qe.Class, qe.Desc)
+		}
 	}
 	switch cmd.Execute {
 	case "query-status":
@@ -149,12 +159,15 @@ func (q *QMP) Execute(raw []byte) []byte {
 		})
 		return qmpOK(cmd.ID, nil)
 	case "query-migrate":
-		vm := q.mon.VM()
 		status := "none"
 		if vm.Migrating() {
 			status = "active"
-		} else if len(vm.Migrations()) > 0 {
-			status = "completed"
+		} else if n := len(vm.Migrations()); n > 0 {
+			if vm.Migrations()[n-1].Err != nil {
+				status = "failed"
+			} else {
+				status = "completed"
+			}
 		}
 		ret := map[string]any{"status": status}
 		if n := len(vm.Migrations()); n > 0 && !vm.Migrating() {

@@ -74,6 +74,7 @@ type VM struct {
 	saved     bool
 	migs      []MigrationStats
 	qmp       *QMP
+	faults    *FaultHooks
 }
 
 // New launches a VM on node with its guest RAM reserved, a virtio vNIC
