@@ -7,26 +7,32 @@
 //	ninjabench -run=table2
 //	ninjabench -run=fig7 -scale=0.25
 //	ninjabench -run=fig8a,fig8b
+//	ninjabench -run=ext-fleet -fleet-jobs=4
+//	ninjabench -run=table2,ext-fleet -json results.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated: table1,table2,fig6,fig7,fig8a,fig8b,ext-faults or 'all'")
+	run := flag.String("run", "all", "comma-separated: table1,table2,fig6,fig7,fig8a,fig8b,ext-faults,ext-fleet or 'all'")
 	scale := flag.Float64("scale", 1.0, "iteration scale for fig7 (1.0 = full class D)")
+	fleetJobs := flag.Int("fleet-jobs", 0, "fleet size for ext-fleet (0 = default 8-job evacuation)")
+	jsonPath := flag.String("json", "", "also write the selected tables to this file as JSON")
 	flag.Parse()
 
 	want := map[string]bool{}
 	if *run == "all" {
 		for _, id := range []string{"table1", "table2", "fig6", "fig7", "fig8a", "fig8b",
-			"ext-scalability", "ext-coldvslive", "ext-bypass", "ext-faults"} {
+			"ext-scalability", "ext-coldvslive", "ext-bypass", "ext-faults", "ext-fleet"} {
 			want[id] = true
 		}
 	} else {
@@ -40,22 +46,29 @@ func main() {
 		os.Exit(1)
 	}
 
+	// emit prints a table and keeps it for the -json dump.
+	var tables []*metrics.Table
+	emit := func(t *metrics.Table) {
+		tables = append(tables, t)
+		fmt.Println(t)
+	}
+
 	if want["table1"] {
-		fmt.Println(experiments.Table1())
+		emit(experiments.Table1())
 	}
 	if want["table2"] {
 		rows, err := experiments.Table2()
 		if err != nil {
 			fail("table2", err)
 		}
-		fmt.Println(experiments.Table2Render(rows))
+		emit(experiments.Table2Render(rows))
 	}
 	if want["fig6"] {
 		rows, err := experiments.Fig6(nil)
 		if err != nil {
 			fail("fig6", err)
 		}
-		fmt.Println(experiments.Fig6Render(rows))
+		emit(experiments.Fig6Render(rows))
 	}
 	if want["fig7"] {
 		rows, err := experiments.Fig7(nil, *scale)
@@ -65,7 +78,7 @@ func main() {
 		if *scale != 1.0 {
 			fmt.Printf("(fig7 at scale %.2f — iteration counts reduced proportionally)\n", *scale)
 		}
-		fmt.Println(experiments.Fig7Render(rows))
+		emit(experiments.Fig7Render(rows))
 	}
 	for _, f := range []struct {
 		id    string
@@ -78,7 +91,7 @@ func main() {
 		if err != nil {
 			fail(f.id, err)
 		}
-		fmt.Println(experiments.Fig8Render(res))
+		emit(experiments.Fig8Render(res))
 		fmt.Println(res.Series.Bars(50))
 		for i, rep := range res.Reports {
 			fmt.Printf("migration %d: coordination %.2fs, hotplug %.2fs, migration %.2fs, link-up %.2fs, total %.2fs\n",
@@ -92,27 +105,45 @@ func main() {
 		if err != nil {
 			fail("ext-scalability", err)
 		}
-		fmt.Println(experiments.ExtScalabilityRender(rows))
+		emit(experiments.ExtScalabilityRender(rows))
 	}
 	if want["ext-coldvslive"] {
 		rows, err := experiments.ExtColdVsLive(nil)
 		if err != nil {
 			fail("ext-coldvslive", err)
 		}
-		fmt.Println(experiments.ExtColdVsLiveRender(rows))
+		emit(experiments.ExtColdVsLiveRender(rows))
 	}
 	if want["ext-bypass"] {
 		rows, err := experiments.ExtBypassOverhead()
 		if err != nil {
 			fail("ext-bypass", err)
 		}
-		fmt.Println(experiments.ExtBypassOverheadRender(rows))
+		emit(experiments.ExtBypassOverheadRender(rows))
 	}
 	if want["ext-faults"] {
 		rows, err := experiments.ExtFaultMatrix()
 		if err != nil {
 			fail("ext-faults", err)
 		}
-		fmt.Println(experiments.ExtFaultMatrixRender(rows))
+		emit(experiments.ExtFaultMatrixRender(rows))
+	}
+	if want["ext-fleet"] {
+		rows, err := experiments.ExtFleetMatrix(experiments.FleetConfig{Jobs: *fleetJobs})
+		if err != nil {
+			fail("ext-fleet", err)
+		}
+		emit(experiments.ExtFleetRender(rows))
+	}
+
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			fail("json", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+			fail("json", err)
+		}
+		fmt.Fprintf(os.Stderr, "ninjabench: wrote %d table(s) to %s\n", len(tables), *jsonPath)
 	}
 }

@@ -37,15 +37,19 @@ func main() {
 	sched := scheduler.New(d.Orch)
 	epoch := d.K.Now()
 	// Tsunami warning at t+60 s: evacuate to the remote Ethernet site.
-	sched.Plan(scheduler.Event{
+	if err := sched.Plan(scheduler.Event{
 		At: epoch + 60*sim.Second, Reason: scheduler.DisasterRecovery,
 		Dsts: d.DstNodes(4), HostPCIID: "04:00.0",
-	})
+	}); err != nil {
+		log.Fatal(err)
+	}
 	// All-clear at t+400 s: recover to the InfiniBand site.
-	sched.Plan(scheduler.Event{
+	if err := sched.Plan(scheduler.Event{
 		At: epoch + 400*sim.Second, Reason: scheduler.Recovery,
 		Dsts: d.SrcNodes(4), HostPCIID: "04:00.0",
-	})
+	}); err != nil {
+		log.Fatal(err)
+	}
 	fin, err := sched.Start()
 	if err != nil {
 		log.Fatal(err)

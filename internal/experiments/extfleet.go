@@ -1,0 +1,401 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fabric"
+	"repro/internal/faults"
+	"repro/internal/fleet"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/ninja"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/vmm"
+)
+
+// This file implements the fleet control-plane extension experiment: a
+// datacenter evacuation of N independent MPI jobs, crossed over placement
+// policy (greedy first-fit vs swap-refined) and sequencing policy
+// (sequential vs batched gang execution), plus a faulted run where a
+// planned destination node crashes mid-directive and the control plane
+// replans the not-yet-started migrations.
+
+// FleetConfig shapes a fleet deployment.
+type FleetConfig struct {
+	// Jobs is the number of independent MPI jobs (default 8). Jobs
+	// alternate IB-capable (VMM-bypass HCAs attached at boot, even
+	// indices) and TCP-only (odd indices).
+	Jobs int
+	// VMsPerJob is each job's gang size (default 2; one VM per node —
+	// a passthrough HCA cannot be shared between guests).
+	VMsPerJob int
+	// GuestMemGB is guest RAM per VM (default 4 — small guests keep the
+	// fleet-sized matrix tractable).
+	GuestMemGB float64
+	// DataGB is the per-VM workload region (default 1).
+	DataGB float64
+	// Spares is the count of dc1 standby nodes handed to the shared
+	// scheduler.Spares pool, outside the fleet placement (default 2).
+	Spares int
+	// WANBandwidth is every site's uplink circuit capacity (default
+	// 1.25e9 B/s, a 10 Gbit/s disaster-recovery circuit).
+	WANBandwidth float64
+	// AppIters is each job's iteration count; the apps must outlive the
+	// directive so late migrations still find ranks to quiesce
+	// (default 3000 × 0.2 s ≈ 600 s of compute).
+	AppIters int
+}
+
+func (cfg FleetConfig) withDefaults() FleetConfig {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 8
+	}
+	if cfg.VMsPerJob <= 0 {
+		cfg.VMsPerJob = 2
+	}
+	if cfg.GuestMemGB == 0 {
+		cfg.GuestMemGB = 4
+	}
+	if cfg.DataGB == 0 {
+		cfg.DataGB = 1
+	}
+	if cfg.Spares < 0 {
+		cfg.Spares = 0
+	} else if cfg.Spares == 0 {
+		cfg.Spares = 2
+	}
+	if cfg.WANBandwidth == 0 {
+		cfg.WANBandwidth = 1.25e9
+	}
+	if cfg.AppIters <= 0 {
+		cfg.AppIters = 3000
+	}
+	return cfg
+}
+
+// FleetDeployment is a three-site testbed under fleet control: dc0 is the
+// IB source hosting every job, dc1 a smaller IB destination (plus spare
+// nodes feeding the shared pool), dc2 an Ethernet destination big enough
+// for the whole fleet. Destination capacity is scarce on the IB side by
+// construction, so placement policy visibly matters.
+type FleetDeployment struct {
+	K      *sim.Kernel
+	W      *hw.WideArea
+	NFS    *storage.NFS
+	Topo   *fleet.Topology
+	Source *fleet.Site // dc0, the site the directive evacuates
+	Jobs   []*fleet.Job
+	Apps   []*sim.Future[struct{}]
+	Spares *scheduler.Spares
+	// SpareNodes are the dc1 standbys behind Spares (for tests).
+	SpareNodes []*hw.Node
+	// Epoch is the simulated time after boot + link training.
+	Epoch sim.Time
+}
+
+// VMs returns every fleet VM, job-major.
+func (d *FleetDeployment) VMs() []*vmm.VM {
+	var out []*vmm.VM
+	for _, j := range d.Jobs {
+		out = append(out, j.VMs()...)
+	}
+	return out
+}
+
+// DeployFleet boots the three-site fleet testbed and launches the jobs'
+// iterating applications.
+func DeployFleet(cfg FleetConfig) (*FleetDeployment, error) {
+	cfg = cfg.withDefaults()
+	nVMs := cfg.Jobs * cfg.VMsPerJob
+	ibDst := nVMs / 2
+	if ibDst < cfg.VMsPerJob {
+		ibDst = cfg.VMsPerJob // room for at least one gang on IB
+	}
+	ethSpec := hw.AGCNodeSpec
+	ethSpec.IBBandwidth = 0
+	k := sim.NewKernel()
+	w := hw.NewWideArea(k, hw.WideAreaConfig{
+		Sites: []hw.SiteConfig{
+			{Nodes: nVMs, Spec: hw.AGCNodeSpec},               // dc0: IB source
+			{Nodes: ibDst + cfg.Spares, Spec: hw.AGCNodeSpec}, // dc1: scarce IB destination
+			{Nodes: nVMs, Spec: ethSpec},                      // dc2: Ethernet overflow
+		},
+		WANBandwidth: cfg.WANBandwidth,
+		WANLatency:   10 * sim.Millisecond,
+	})
+	nfs := storage.NewNFS("wan-nfs")
+	nfs.MountAll(w.DCs[0].Cluster, w.DCs[1].Cluster, w.DCs[2].Cluster)
+
+	d := &FleetDeployment{K: k, W: w, NFS: nfs}
+	dc1 := w.DCs[1].Cluster.Nodes
+	src := &fleet.Site{Name: "dc0", Nodes: w.DCs[0].Cluster.Nodes, WANBandwidth: cfg.WANBandwidth}
+	dst1 := &fleet.Site{Name: "dc1", Nodes: dc1[:ibDst], WANBandwidth: cfg.WANBandwidth}
+	dst2 := &fleet.Site{Name: "dc2", Nodes: w.DCs[2].Cluster.Nodes, WANBandwidth: cfg.WANBandwidth}
+	d.Topo = fleet.NewTopology(src, dst1, dst2)
+	d.Source = src
+	d.SpareNodes = dc1[ibDst:]
+	d.Spares = scheduler.NewSpares(d.SpareNodes...)
+
+	// Boot one VM per dc0 node; even-indexed jobs carry boot-attached
+	// HCAs, odd-indexed jobs ride the tcp BTL.
+	var vms [][]*vmm.VM
+	for j := 0; j < cfg.Jobs; j++ {
+		ib := j%2 == 0
+		var gang []*vmm.VM
+		for v := 0; v < cfg.VMsPerJob; v++ {
+			node := w.DCs[0].Cluster.Nodes[j*cfg.VMsPerJob+v]
+			vm, err := vmm.New(k, node, w.Segment, vmm.Config{
+				Name:        fmt.Sprintf("j%02dv%02d", j, v),
+				VCPUs:       2,
+				MemoryBytes: cfg.GuestMemGB * hw.GB,
+			}, vmm.DefaultParams())
+			if err != nil {
+				return nil, err
+			}
+			vm.SetStorage(nfs)
+			if ib {
+				if err := vm.AttachBootHCA(); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := vm.Memory().AddRegion("data", cfg.DataGB*hw.GB, 0, 0); err != nil {
+				return nil, err
+			}
+			gang = append(gang, vm)
+		}
+		vms = append(vms, gang)
+	}
+	d.Epoch = k.RunUntil(fabric.DefaultIBTrainingTime + sim.Second)
+
+	// One MPI job + orchestrator per gang, all sharing the retry policy
+	// and the spare pool.
+	pol := ninja.DefaultRetryPolicy()
+	for j := 0; j < cfg.Jobs; j++ {
+		job, err := mpi.NewJob(k, mpi.Config{
+			VMs: vms[j], RanksPerVM: 1, ContinueLikeRestart: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("job%02d", j)
+		d.Jobs = append(d.Jobs, &fleet.Job{
+			Name:      name,
+			Orch:      ninja.New(job, ninja.Options{Retry: &pol, Spares: d.Spares}),
+			IBCapable: j%2 == 0,
+		})
+		iters := cfg.AppIters
+		d.Apps = append(d.Apps, job.Launch(name, func(p *sim.Proc, rk *mpi.Rank) {
+			for i := 0; i < iters; i++ {
+				rk.FTProbe(p)
+				rk.Compute(p, 0.2)
+			}
+		}))
+	}
+	return d, nil
+}
+
+// FleetScenario is one matrix cell's policy pair, plus the fault switch.
+type FleetScenario struct {
+	Placement fleet.PlacementPolicy
+	Seq       fleet.SeqPolicy
+	// Faulted crashes a planned destination of the final batch shortly
+	// after the directive starts, exercising the executor's replanning.
+	Faulted bool
+}
+
+// Label renders "swap/batched(cap=4)"-style identifiers.
+func (sc FleetScenario) Label() string {
+	l := sc.Placement.String() + "/" + sc.Seq.String()
+	if sc.Faulted {
+		l += "+crash"
+	}
+	return l
+}
+
+// FleetRow is one matrix row's result.
+type FleetRow struct {
+	Scenario string
+	Jobs     int
+	Batches  int
+	// Score is the placement's aggregate interconnect-affinity score.
+	Score int
+	// IBJobsOnIB counts IB-capable jobs whose guests still have usable
+	// InfiniBand after landing (the placement quality ground truth).
+	IBJobsOnIB int
+	IBJobs     int
+	Predicted  sim.Time // sequencer's contention-model makespan estimate
+	Makespan   sim.Time // measured directive wall time
+	Downtime   sim.Time // summed per-job service interruption
+	Deadline   bool
+	Replans    int
+	Outcomes   string
+}
+
+// FleetResult pairs the row with the raw report for tests.
+type FleetResult struct {
+	Row    FleetRow
+	Plan   *fleet.Plan
+	Report fleet.Report
+}
+
+// RunFleetScenario deploys a fresh fleet, plans the evacuation of dc0
+// under the scenario's policies, runs it, and reports. The deadline is
+// fixed at trigger + 400 s for every scenario so rows are comparable.
+func RunFleetScenario(cfg FleetConfig, sc FleetScenario) (*FleetResult, error) {
+	cfg = cfg.withDefaults()
+	d, err := DeployFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	trigger := d.Epoch + 5*sim.Second
+	dir := fleet.Directive{
+		Kind:     fleet.Evacuate,
+		Source:   d.Source,
+		Deadline: trigger + 400*sim.Second,
+	}
+	planner := &fleet.Planner{Topo: d.Topo, Placement: sc.Placement, Seq: sc.Seq}
+	plan, err := planner.Plan(dir, d.Jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	ex := fleet.NewExecutor(d.K, plan, fleet.Options{
+		Topo:      d.Topo,
+		Placement: sc.Placement,
+		Replan:    true,
+	})
+	if sc.Faulted {
+		// Crash the first planned destination of the final batch while the
+		// first batch is still in flight: the fleet must notice before
+		// launching the victim's batch and re-place it.
+		last := plan.Seq.Batches[len(plan.Seq.Batches)-1]
+		victim := last[0].Dsts[0]
+		inj := faults.NewInjector(d.K, faults.Plan{
+			Name: "fleet-dst-crash", Seed: 1,
+			Specs: []faults.Spec{{
+				Kind: faults.KindNodeCrash, Target: victim.Name, At: trigger + 5*sim.Second,
+			}},
+		}, faults.Env{
+			Nodes: []*hw.Node{victim},
+			Log: func(kind, subject, detail string) {
+				ex.Events().Record(metrics.EventFaultInjected, kind, subject, detail)
+			},
+		})
+		if err := inj.Arm(); err != nil {
+			return nil, err
+		}
+	}
+
+	var rep fleet.Report
+	var fut *sim.Future[fleet.Report]
+	d.K.Go("fleet-driver", func(p *sim.Proc) {
+		if trigger > p.Now() {
+			p.Sleep(trigger - p.Now())
+		}
+		f, err2 := ex.Start()
+		if err2 != nil {
+			panic(err2) // Start on a fresh executor cannot fail
+		}
+		fut = f
+	})
+	d.K.Run()
+	if fut == nil || !fut.Done() {
+		return nil, fmt.Errorf("experiments: fleet %s: directive incomplete", sc.Label())
+	}
+	rep = fut.Value()
+	for i, app := range d.Apps {
+		if !app.Done() {
+			return nil, fmt.Errorf("experiments: fleet %s: job %d wedged", sc.Label(), i)
+		}
+	}
+	if failed := rep.Failed(); len(failed) > 0 {
+		return nil, fmt.Errorf("experiments: fleet %s: job %s failed: %v",
+			sc.Label(), failed[0].Job.Name, failed[0].Err)
+	}
+
+	row := FleetRow{
+		Scenario:  sc.Label(),
+		Jobs:      len(d.Jobs),
+		Batches:   len(plan.Seq.Batches),
+		Score:     fleet.ScoreAll(plan.Assignments),
+		Predicted: plan.Seq.Predicted,
+		Makespan:  rep.Makespan,
+		Downtime:  rep.Downtime,
+		Deadline:  rep.DeadlineMet,
+		Replans:   rep.Replans,
+		Outcomes:  rep.OutcomeCounts(),
+	}
+	for _, j := range d.Jobs {
+		if !j.IBCapable {
+			continue
+		}
+		row.IBJobs++
+		onIB := true
+		for _, vm := range j.VMs() {
+			if !vm.Guest().IBUsable() {
+				onIB = false
+			}
+		}
+		if onIB {
+			row.IBJobsOnIB++
+		}
+	}
+	return &FleetResult{Row: row, Plan: plan, Report: rep}, nil
+}
+
+// ExtFleetScenarios is the policy matrix: both placements under both
+// sequencers, then the faulted run on the strongest pair.
+func ExtFleetScenarios() []FleetScenario {
+	return []FleetScenario{
+		{Placement: fleet.PlaceGreedy, Seq: fleet.SeqPolicy{}},
+		{Placement: fleet.PlaceSwap, Seq: fleet.SeqPolicy{}},
+		{Placement: fleet.PlaceGreedy, Seq: fleet.SeqPolicy{Batched: true, Cap: 4}},
+		{Placement: fleet.PlaceSwap, Seq: fleet.SeqPolicy{Batched: true, Cap: 4}},
+		{Placement: fleet.PlaceSwap, Seq: fleet.SeqPolicy{Batched: true, Cap: 4}, Faulted: true},
+	}
+}
+
+// ExtFleetMatrix runs the full fleet policy × fault matrix.
+func ExtFleetMatrix(cfg FleetConfig) ([]FleetRow, error) {
+	var rows []FleetRow
+	for _, sc := range ExtFleetScenarios() {
+		res, err := RunFleetScenario(cfg, sc)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, res.Row)
+	}
+	return rows, nil
+}
+
+// ExtFleetRender formats the fleet evacuation matrix.
+func ExtFleetRender(rows []FleetRow) *metrics.Table {
+	t := metrics.NewTable("Ext. — fleet evacuation: placement × sequencing matrix",
+		"policy", "jobs", "batches", "score", "ib-jobs-on-ib",
+		"predicted [s]", "makespan [s]", "downtime [s]", "deadline", "replans", "outcomes")
+	for _, r := range rows {
+		deadline := "hit"
+		if !r.Deadline {
+			deadline = "MISS"
+		}
+		t.AddRow(r.Scenario, r.Jobs, r.Batches, r.Score,
+			fmt.Sprintf("%d/%d", r.IBJobsOnIB, r.IBJobs),
+			r.Predicted, r.Makespan, r.Downtime, deadline, r.Replans, r.Outcomes)
+	}
+	return t
+}
+
+// FleetEventsSummary renders the replan/batch trail of a report, for the
+// example walkthrough.
+func FleetEventsSummary(rep fleet.Report) string {
+	var b strings.Builder
+	for _, e := range rep.Events {
+		b.WriteString(e.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

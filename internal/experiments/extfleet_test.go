@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+	"repro/internal/ninja"
+)
+
+// The acceptance property of the fleet control plane: on the default
+// 8-job evacuation, swap-refined placement with batched gang execution
+// beats sequential greedy on makespan, and places strictly better by
+// affinity score.
+func TestFleetBatchedSwapBeatsSequentialGreedy(t *testing.T) {
+	base, err := RunFleetScenario(FleetConfig{}, FleetScenario{
+		Placement: fleet.PlaceGreedy, Seq: fleet.SeqPolicy{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := RunFleetScenario(FleetConfig{}, FleetScenario{
+		Placement: fleet.PlaceSwap, Seq: fleet.SeqPolicy{Batched: true, Cap: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.Row.Makespan >= base.Row.Makespan {
+		t.Fatalf("batched+swap makespan %v not strictly below sequential greedy %v",
+			tuned.Row.Makespan, base.Row.Makespan)
+	}
+	if tuned.Row.Score <= base.Row.Score {
+		t.Fatalf("swap score %d not above greedy %d", tuned.Row.Score, base.Row.Score)
+	}
+	if tuned.Row.IBJobsOnIB != tuned.Row.IBJobs {
+		t.Fatalf("swap left %d/%d IB jobs off InfiniBand",
+			tuned.Row.IBJobs-tuned.Row.IBJobsOnIB, tuned.Row.IBJobs)
+	}
+	if base.Row.IBJobsOnIB >= base.Row.IBJobs {
+		t.Fatal("greedy placed every IB job on IB — the testbed no longer distinguishes the policies")
+	}
+	for _, res := range []*FleetResult{base, tuned} {
+		if !res.Report.DeadlineMet {
+			t.Fatalf("%s missed the deadline", res.Row.Scenario)
+		}
+		for _, jo := range res.Report.Jobs {
+			if jo.Outcome != ninja.OutcomeClean {
+				t.Fatalf("%s: job %s ended %s", res.Row.Scenario, jo.Job.Name, jo.Outcome)
+			}
+		}
+	}
+}
+
+// Same deployment, same policies → bit-identical plan and timings.
+func TestFleetDeterministic(t *testing.T) {
+	sc := FleetScenario{Placement: fleet.PlaceSwap, Seq: fleet.SeqPolicy{Batched: true, Cap: 4}}
+	cfg := FleetConfig{Jobs: 4}
+	a, err := RunFleetScenario(cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFleetScenario(cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Row.Makespan != b.Row.Makespan || a.Row.Downtime != b.Row.Downtime ||
+		a.Row.Score != b.Row.Score || a.Row.Batches != b.Row.Batches {
+		t.Fatalf("reruns differ:\n%+v\n%+v", a.Row, b.Row)
+	}
+	for i := range a.Plan.Assignments {
+		for v, n := range a.Plan.Assignments[i].Dsts {
+			if n.Name != b.Plan.Assignments[i].Dsts[v].Name {
+				t.Fatalf("assignment %d VM %d differs: %s vs %s",
+					i, v, n.Name, b.Plan.Assignments[i].Dsts[v].Name)
+			}
+		}
+	}
+}
+
+// A destination-node crash mid-directive forces the control plane to
+// replan the victim's migration before its batch launches; every job
+// still completes healthy.
+func TestFleetReplansAfterDestinationCrash(t *testing.T) {
+	res, err := RunFleetScenario(FleetConfig{}, FleetScenario{
+		Placement: fleet.PlaceSwap, Seq: fleet.SeqPolicy{Batched: true, Cap: 4}, Faulted: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Replans < 1 {
+		t.Fatal("destination crash did not trigger a replan")
+	}
+	replanEvents := 0
+	for _, e := range res.Report.Events {
+		if e.Kind == metrics.EventReplan {
+			replanEvents++
+		}
+	}
+	if replanEvents < 1 {
+		t.Fatal("no replanned event in the fleet trail")
+	}
+	recovered := 0
+	for _, jo := range res.Report.Jobs {
+		switch jo.Outcome {
+		case ninja.OutcomeClean:
+		case ninja.OutcomeRetriedOK, ninja.OutcomeDegradedTCP, ninja.OutcomeRolledBack:
+			recovered++
+		default:
+			t.Fatalf("job %s ended %q", jo.Job.Name, jo.Outcome)
+		}
+		if jo.Replanned {
+			for _, n := range jo.Dsts {
+				if n.Failed() {
+					t.Fatalf("job %s replanned onto failed node %s", jo.Job.Name, n.Name)
+				}
+			}
+		}
+	}
+	if recovered < 1 {
+		t.Fatal("no job shows a recovery outcome despite the forced replan")
+	}
+	if !res.Report.DeadlineMet {
+		t.Fatal("faulted run missed the deadline")
+	}
+}
+
+// The matrix itself: five rows, stable labels, no failures at a small
+// fleet size (the full size runs in the dedicated tests above).
+func TestExtFleetMatrixShape(t *testing.T) {
+	rows, err := ExtFleetMatrix(FleetConfig{Jobs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ExtFleetScenarios()) {
+		t.Fatalf("%d rows, want %d", len(rows), len(ExtFleetScenarios()))
+	}
+	tab := ExtFleetRender(rows)
+	if len(tab.Rows) != len(rows) {
+		t.Fatalf("table has %d rows", len(tab.Rows))
+	}
+	if !strings.Contains(tab.Rows[0][0], "greedy/sequential") {
+		t.Fatalf("row 0 label = %q", tab.Rows[0][0])
+	}
+	for _, r := range rows {
+		if r.Jobs != 3 {
+			t.Fatalf("row %s has %d jobs", r.Scenario, r.Jobs)
+		}
+	}
+}
+
+// Directive validation: an evacuate directive without a source site and a
+// consolidation that cannot fit must fail loudly at plan time.
+func TestFleetPlannerRejectsImpossibleDirectives(t *testing.T) {
+	d, err := DeployFleet(FleetConfig{Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := &fleet.Planner{Topo: d.Topo, Placement: fleet.PlaceSwap}
+	if _, err := pl.Plan(fleet.Directive{Kind: fleet.Evacuate}, d.Jobs); err == nil {
+		t.Fatal("evacuate without a source site planned successfully")
+	}
+	// Consolidating 4 VMs onto 1 single-slot node cannot fit.
+	_, err = pl.Plan(fleet.Directive{
+		Kind: fleet.Consolidate, Source: d.Source, MaxNodes: 1,
+	}, d.Jobs)
+	if err == nil {
+		t.Fatal("impossible consolidation planned successfully")
+	}
+}

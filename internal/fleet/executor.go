@@ -1,0 +1,258 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/ninja"
+	"repro/internal/sim"
+)
+
+// Options tune an Executor.
+type Options struct {
+	// Topo and Placement drive replanning; Replan enables it. A pending
+	// migration whose destination node crashed before its batch started
+	// is re-placed against the remaining capacity (crashes that strike
+	// mid-flight are the orchestrator's business: ninja.RetryPolicy plus
+	// the shared spare pool).
+	Topo      *Topology
+	Placement PlacementPolicy
+	Replan    bool
+	// Mode selects live or cold (checkpoint/restart) transfer.
+	Mode ninja.Mode
+	// Model re-prices replanned migrations (zero value → defaults).
+	Model CostModel
+}
+
+// JobOutcome is one job's result within a fleet directive.
+type JobOutcome struct {
+	Job  *Job
+	Dsts []*hw.Node
+	// Batch is the index of the batch the job ran in.
+	Batch             int
+	Report            ninja.Report
+	Err               error
+	Started, Finished sim.Time
+	// Replanned marks a job whose destinations were reassigned by the
+	// fleet before its migration started.
+	Replanned bool
+	// Outcome is the fleet-level classification: the orchestrator's
+	// outcome, upgraded to retried-ok when the only recovery was a
+	// fleet-level replan of a clean run.
+	Outcome ninja.Outcome
+}
+
+// Report summarizes a completed directive.
+type Report struct {
+	Dir Directive
+	// Started/Finished bound the whole directive; Makespan is their
+	// difference.
+	Started, Finished sim.Time
+	Makespan          sim.Time
+	// Downtime aggregates trigger-to-resume (ninja Report.Total) over
+	// every job — the fleet's total service interruption.
+	Downtime sim.Time
+	// DeadlineMet is true when the directive had no deadline or finished
+	// in time.
+	DeadlineMet bool
+	// Replans counts fleet-level destination reassignments.
+	Replans int
+	Jobs    []JobOutcome
+	// Events is the fleet-level trail (batch launches, replans, deadline
+	// verdict); per-job trails ride in each JobOutcome.Report.
+	Events []metrics.Event
+}
+
+// Failed returns the outcomes that ended in an error other than a clean
+// rollback-in-place (a rolled-back job is still healthy and running).
+func (r Report) Failed() []JobOutcome {
+	var out []JobOutcome
+	for _, jo := range r.Jobs {
+		if jo.Err != nil && jo.Report.Outcome != ninja.OutcomeRolledBack {
+			out = append(out, jo)
+		}
+	}
+	return out
+}
+
+// OutcomeCounts renders "6 clean, 2 retried-ok"-style tallies in a fixed
+// outcome order.
+func (r Report) OutcomeCounts() string {
+	counts := map[ninja.Outcome]int{}
+	for _, jo := range r.Jobs {
+		counts[jo.Outcome]++
+	}
+	out := ""
+	for _, o := range []ninja.Outcome{ninja.OutcomeClean, ninja.OutcomeRetriedOK,
+		ninja.OutcomeDegradedTCP, ninja.OutcomeRolledBack} {
+		if counts[o] == 0 {
+			continue
+		}
+		if out != "" {
+			out += ", "
+		}
+		out += fmt.Sprintf("%d %s", counts[o], o)
+	}
+	if out == "" {
+		out = "none"
+	}
+	return out
+}
+
+// Executor runs a fleet plan: batches execute in order, the gang
+// migrations inside a batch run concurrently, each under its own
+// ninja.Orchestrator on the shared DES kernel.
+type Executor struct {
+	k      *sim.Kernel
+	plan   *Plan
+	opts   Options
+	events *metrics.EventLog
+	begun  bool
+}
+
+// NewExecutor builds an executor for the plan.
+func NewExecutor(k *sim.Kernel, plan *Plan, opts Options) *Executor {
+	return &Executor{k: k, plan: plan, opts: opts, events: metrics.NewEventLog(k.Now)}
+}
+
+// Events returns the executor's fleet-level event log.
+func (e *Executor) Events() *metrics.EventLog { return e.events }
+
+// Start launches the directive and returns a future resolving to the
+// fleet report once every batch has finished.
+func (e *Executor) Start() (*sim.Future[Report], error) {
+	if e.begun {
+		return nil, fmt.Errorf("fleet: executor already started")
+	}
+	e.begun = true
+	fut := sim.NewFuture[Report](e.k)
+	e.k.Go("fleet-executor", func(p *sim.Proc) {
+		fut.Set(e.run(p))
+	})
+	return fut, nil
+}
+
+func (e *Executor) run(p *sim.Proc) Report {
+	rep := Report{Dir: e.plan.Dir, Started: p.Now()}
+	batches := e.plan.Seq.Batches
+	for bi, batch := range batches {
+		if e.opts.Replan {
+			rep.Replans += e.replanBatch(batches, bi)
+		}
+		e.events.Record(metrics.EventBatch, "fleet", fmt.Sprintf("batch %d/%d", bi+1, len(batches)),
+			fmt.Sprintf("%d concurrent gang migrations", len(batch)))
+		wg := sim.NewWaitGroup(e.k)
+		outs := make([]JobOutcome, len(batch))
+		for mi, mig := range batch {
+			mi, mig := mi, mig
+			wg.Add(1)
+			e.k.Go("fleet/"+mig.Job.Name, func(jp *sim.Proc) {
+				defer wg.Done()
+				outs[mi] = e.runJob(jp, mig, bi)
+			})
+		}
+		wg.Wait(p)
+		rep.Jobs = append(rep.Jobs, outs...)
+	}
+	rep.Finished = p.Now()
+	rep.Makespan = rep.Finished - rep.Started
+	for _, jo := range rep.Jobs {
+		rep.Downtime += jo.Report.Total
+	}
+	rep.DeadlineMet = e.plan.Dir.Deadline == 0 || rep.Finished <= e.plan.Dir.Deadline
+	if !rep.DeadlineMet {
+		e.events.Record(metrics.EventDeadlineMiss, "fleet", "",
+			fmt.Sprintf("finished %.1fs after the deadline", (rep.Finished-e.plan.Dir.Deadline).Seconds()))
+	}
+	rep.Events = append([]metrics.Event(nil), e.events.Events()...)
+	return rep
+}
+
+// runJob executes one gang migration. IB-capable jobs re-attach their
+// devices wherever the destination has an HCA (AttachAuto); TCP-only jobs
+// skip the attach phase outright (AttachNever), so a TCP job landing on
+// an IB node does not steal the node's HCA.
+func (e *Executor) runJob(p *sim.Proc, mig *Migration, batch int) JobOutcome {
+	out := JobOutcome{Job: mig.Job, Dsts: mig.Dsts, Batch: batch, Started: p.Now(), Replanned: mig.replanned}
+	switch {
+	case e.opts.Mode == ninja.Cold:
+		out.Report, out.Err = mig.Job.Orch.ColdMigrate(p, mig.Dsts)
+	case mig.Job.IBCapable:
+		out.Report, out.Err = mig.Job.Orch.MigratePolicy(p, mig.Dsts, ninja.AttachAuto)
+	default:
+		out.Report, out.Err = mig.Job.Orch.MigratePolicy(p, mig.Dsts, ninja.AttachNever)
+	}
+	out.Finished = p.Now()
+	out.Outcome = out.Report.Outcome
+	if out.Replanned && out.Outcome == ninja.OutcomeClean {
+		out.Outcome = ninja.OutcomeRetriedOK
+	}
+	return out
+}
+
+// replanBatch re-places the pending migrations of batches[from:] whose
+// destinations include a crashed node. Slots already consumed — every
+// fleet VM's current node and every other pending destination — are
+// excluded, so a replan cannot overload a survivor.
+func (e *Executor) replanBatch(batches [][]*Migration, from int) int {
+	replans := 0
+	for _, mig := range batches[from] {
+		broken := false
+		for _, n := range mig.Dsts {
+			if n.Failed() {
+				broken = true
+			}
+		}
+		if !broken {
+			continue
+		}
+		taken := e.takenSlots(batches, mig)
+		a, err := PlaceOne(mig.Job, e.opts.Topo, e.plan.Dir, e.opts.Placement, taken)
+		if err != nil {
+			// No capacity left: keep the plan and let the orchestrator's
+			// retry/spare machinery fight it out (or roll back in place).
+			e.events.Record(metrics.EventReplan, "fleet", mig.Job.Name,
+				fmt.Sprintf("destination down but no capacity to replan: %v", err))
+			continue
+		}
+		e.events.Record(metrics.EventReplan, "fleet", mig.Job.Name,
+			fmt.Sprintf("destination node down; reassigned %s", nodeNames(a.Dsts)))
+		*mig = *e.opts.Topo.MigrationOf(mig.Job, a.Dsts, e.opts.Model)
+		mig.replanned = true
+		replans++
+	}
+	return replans
+}
+
+// takenSlots counts destination slots unavailable to a replanned job:
+// nodes currently hosting any fleet VM and every other migration's
+// planned destinations.
+func (e *Executor) takenSlots(batches [][]*Migration, skip *Migration) map[*hw.Node]int {
+	taken := make(map[*hw.Node]int)
+	for _, b := range batches {
+		for _, m := range b {
+			for _, vm := range m.Job.VMs() {
+				taken[vm.Node()]++
+			}
+			if m == skip {
+				continue
+			}
+			for _, n := range m.Dsts {
+				taken[n]++
+			}
+		}
+	}
+	return taken
+}
+
+func nodeNames(ns []*hw.Node) string {
+	out := ""
+	for i, n := range ns {
+		if i > 0 {
+			out += ","
+		}
+		out += n.Name
+	}
+	return out
+}

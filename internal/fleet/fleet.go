@@ -1,0 +1,181 @@
+// Package fleet is a datacenter-wide migration control plane layered
+// above the per-job Ninja orchestrator. Where the paper's cloud scheduler
+// (§III-C) hands the orchestrator a single source/destination pair, the
+// fleet planner turns a high-level directive — "evacuate site A by
+// deadline D", "consolidate onto K nodes" — into per-job gang-migration
+// plans for N independent MPI jobs that share finite WAN circuits and NFS
+// bandwidth:
+//
+//  1. a placement solver assigns every job destination nodes, greedy
+//     first-fit refined by swap-based local search that scores
+//     interconnect affinity (IB-capable jobs prefer IB sites, per the
+//     paper's 1024-vs-100 node exclusivity) and node capacity;
+//  2. a sequencer batches non-conflicting migrations and orders
+//     conflicting ones to minimize the simulated makespan under
+//     shared-link contention, with a configurable concurrency cap;
+//  3. an executor runs one ninja.Orchestrator per job concurrently on
+//     the shared DES kernel, replanning not-yet-started migrations when
+//     a destination node crashes mid-directive.
+//
+// The swap-based destination selection follows Avin et al. ("Simple
+// Destination-Swap Strategies for Adaptive Intra- and Inter-Tenant VM
+// Migration"); the bandwidth-aware sequencing follows Wang et al.
+// ("Virtual Machine Migration Planning in Software-Defined Networks").
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/ninja"
+	"repro/internal/sim"
+	"repro/internal/vmm"
+)
+
+// Job is one independently migratable MPI job under fleet control.
+type Job struct {
+	// Name identifies the job in plans, event trails and reports.
+	Name string
+	// Orch is the job's Ninja orchestrator (one per job; they share the
+	// DES kernel and, via ninja.Options, the spare-node pool).
+	Orch *ninja.Orchestrator
+	// IBCapable marks a job whose VMs carry VMM-bypass HCAs: it runs at
+	// full interconnect speed only on an IB-equipped destination, and the
+	// executor re-attaches its devices there (ninja.AttachAuto). Jobs
+	// without the flag stay on the tcp BTL (ninja.AttachNever).
+	IBCapable bool
+}
+
+// VMs returns the job's guest machines, in job VM order.
+func (j *Job) VMs() []*vmm.VM { return j.Orch.Job().VMs() }
+
+// DirectiveKind classifies a fleet-wide migration directive.
+type DirectiveKind int
+
+const (
+	// Evacuate moves every job off the source site (disaster recovery,
+	// whole-site maintenance). Candidates are all other sites.
+	Evacuate DirectiveKind = iota
+	// Consolidate packs every job onto the first MaxNodes healthy nodes
+	// of the source site (server consolidation, §II-A).
+	Consolidate
+)
+
+// String returns the directive label.
+func (d DirectiveKind) String() string {
+	switch d {
+	case Evacuate:
+		return "evacuate"
+	case Consolidate:
+		return "consolidate"
+	default:
+		return fmt.Sprintf("DirectiveKind(%d)", int(d))
+	}
+}
+
+// Directive is one high-level order to the fleet control plane.
+type Directive struct {
+	Kind DirectiveKind
+	// Source is the site the directive operates on: the site to vacate
+	// (Evacuate) or the site to pack within (Consolidate).
+	Source *Site
+	// Deadline is the absolute simulated time the directive should finish
+	// by (0 = none). The report records hit/miss; the planner does not
+	// abort late directives.
+	Deadline sim.Time
+	// MaxNodes bounds the consolidation target ("consolidate to K
+	// nodes"); ignored for Evacuate.
+	MaxNodes int
+}
+
+// Site is one data center (or cluster) the fleet spans.
+type Site struct {
+	Name  string
+	Nodes []*hw.Node
+	// WANBandwidth is the site's shared uplink circuit capacity
+	// (bytes/sec); every migration entering or leaving the site crosses
+	// it. 0 means the site has no modelled WAN constraint.
+	WANBandwidth float64
+	// SlotsPerNode caps VMs placed per node (default 1, the paper's
+	// density — a passthrough HCA cannot be shared between guests).
+	SlotsPerNode int
+}
+
+func (s *Site) slotsPerNode() int {
+	if s.SlotsPerNode < 1 {
+		return 1
+	}
+	return s.SlotsPerNode
+}
+
+// uplink is the shared-link identifier of the site's WAN circuit.
+func (s *Site) uplink() string { return "wan:" + s.Name }
+
+// Topology is the fleet's placement and bandwidth substrate.
+type Topology struct {
+	Sites  []*Site
+	siteOf map[*hw.Node]*Site
+}
+
+// NewTopology builds a topology over the sites (site order is the
+// placement preference order for ties).
+func NewTopology(sites ...*Site) *Topology {
+	t := &Topology{Sites: sites, siteOf: make(map[*hw.Node]*Site)}
+	for _, s := range sites {
+		for _, n := range s.Nodes {
+			t.siteOf[n] = s
+		}
+	}
+	return t
+}
+
+// SiteOf returns the site owning the node (nil for foreign nodes).
+func (t *Topology) SiteOf(n *hw.Node) *Site { return t.siteOf[n] }
+
+// LinkCaps returns the shared-link capacity map the sequencer prices
+// contention against: one entry per WAN-constrained site uplink.
+func (t *Topology) LinkCaps() map[string]float64 {
+	caps := make(map[string]float64)
+	for _, s := range t.Sites {
+		if s.WANBandwidth > 0 {
+			caps[s.uplink()] = s.WANBandwidth
+		}
+	}
+	return caps
+}
+
+// Plan is a fully sequenced fleet directive, ready for the executor.
+type Plan struct {
+	Dir         Directive
+	Assignments []Assignment
+	Seq         Sequence
+}
+
+// Planner turns directives into plans.
+type Planner struct {
+	Topo *Topology
+	// Placement selects greedy first-fit or swap-refined placement.
+	Placement PlacementPolicy
+	// Seq selects sequential or batched execution.
+	Seq SeqPolicy
+	// Model prices migrations for the sequencer (zero value → defaults).
+	Model CostModel
+}
+
+// Plan places every job and sequences the resulting migrations.
+func (pl *Planner) Plan(dir Directive, jobs []*Job) (*Plan, error) {
+	model := pl.Model.withDefaults()
+	asgs, err := Place(jobs, pl.Topo, dir, pl.Placement)
+	if err != nil {
+		return nil, err
+	}
+	migs := make([]*Migration, len(asgs))
+	for i, a := range asgs {
+		migs[i] = pl.Topo.MigrationOf(a.Job, a.Dsts, model)
+	}
+	return &Plan{
+		Dir:         dir,
+		Assignments: asgs,
+		Seq:         PlanSequence(migs, pl.Topo.LinkCaps(), pl.Seq),
+	}, nil
+}

@@ -1,0 +1,336 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/hw"
+)
+
+// PlacementPolicy selects the destination-assignment algorithm.
+type PlacementPolicy int
+
+const (
+	// PlaceGreedy is capacity-driven first-fit in site order — fast,
+	// affinity-blind, the baseline a naive scheduler would produce.
+	PlaceGreedy PlacementPolicy = iota
+	// PlaceSwap refines the greedy assignment with swap-based local
+	// search until no relocation or pairwise destination swap improves
+	// the fleet's interconnect-affinity score.
+	PlaceSwap
+)
+
+// String returns the policy label.
+func (p PlacementPolicy) String() string {
+	switch p {
+	case PlaceGreedy:
+		return "greedy"
+	case PlaceSwap:
+		return "swap"
+	default:
+		return fmt.Sprintf("PlacementPolicy(%d)", int(p))
+	}
+}
+
+// Affinity weights, from the paper's node-exclusivity discussion: an
+// IB-capable job is worth 1024 on an IB node but only 100 degraded to the
+// tcp BTL on an Ethernet node; a TCP-only job scores 100 anywhere but
+// pays a small penalty for squatting on an IB slot another job may want.
+const (
+	AffinityIB       = 1024
+	AffinityEth      = 100
+	AffinityWastedIB = 80
+)
+
+// affinity scores placing one of job j's VMs on node n.
+func affinity(j *Job, n *hw.Node) int {
+	switch {
+	case j.IBCapable && n.HasInfiniBand():
+		return AffinityIB
+	case !j.IBCapable && n.HasInfiniBand():
+		return AffinityWastedIB
+	default:
+		return AffinityEth
+	}
+}
+
+// Assignment is one job's planned destination list (one node per VM, in
+// job VM order).
+type Assignment struct {
+	Job  *Job
+	Dsts []*hw.Node
+}
+
+// Score sums per-VM interconnect affinity over the assignment.
+func (a Assignment) Score() int {
+	s := 0
+	for _, n := range a.Dsts {
+		s += affinity(a.Job, n)
+	}
+	return s
+}
+
+// ScoreAll sums affinity over a whole fleet plan.
+func ScoreAll(asgs []Assignment) int {
+	s := 0
+	for _, a := range asgs {
+		s += a.Score()
+	}
+	return s
+}
+
+// ErrNoCapacity reports that the directive's candidate nodes cannot hold
+// the fleet.
+var ErrNoCapacity = errors.New("fleet: not enough destination capacity")
+
+// tracker accounts slot and memory headroom over the candidate nodes.
+type tracker struct {
+	order   []*hw.Node // candidate nodes, placement preference order
+	free    map[*hw.Node]int
+	planned map[*hw.Node]float64 // bytes newly planned onto the node
+}
+
+// candidates returns the directive's destination nodes in deterministic
+// preference order (site order, then node order), skipping crashed nodes.
+func candidates(topo *Topology, dir Directive) ([]*hw.Node, error) {
+	var out []*hw.Node
+	switch dir.Kind {
+	case Evacuate:
+		if dir.Source == nil {
+			return nil, errors.New("fleet: evacuate directive without a source site")
+		}
+		for _, s := range topo.Sites {
+			if s == dir.Source {
+				continue
+			}
+			for _, n := range s.Nodes {
+				if !n.Failed() {
+					out = append(out, n)
+				}
+			}
+		}
+	case Consolidate:
+		if dir.Source == nil {
+			return nil, errors.New("fleet: consolidate directive without a site")
+		}
+		max := dir.MaxNodes
+		if max < 1 {
+			max = len(dir.Source.Nodes)
+		}
+		for _, n := range dir.Source.Nodes {
+			if len(out) == max {
+				break
+			}
+			if !n.Failed() {
+				out = append(out, n)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("fleet: unknown directive kind %v", dir.Kind)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: no healthy candidates for %v", ErrNoCapacity, dir.Kind)
+	}
+	return out, nil
+}
+
+func newTracker(topo *Topology, dir Directive, taken map[*hw.Node]int) (*tracker, error) {
+	nodes, err := candidates(topo, dir)
+	if err != nil {
+		return nil, err
+	}
+	t := &tracker{free: make(map[*hw.Node]int), planned: make(map[*hw.Node]float64)}
+	for _, n := range nodes {
+		slots := topo.SiteOf(n).slotsPerNode() - taken[n]
+		if slots <= 0 {
+			continue
+		}
+		t.order = append(t.order, n)
+		t.free[n] = slots
+	}
+	if len(t.order) == 0 {
+		return nil, fmt.Errorf("%w: every candidate slot already taken", ErrNoCapacity)
+	}
+	return t, nil
+}
+
+// fits reports whether one more VM of vmBytes can land on n. Memory
+// already resident on the node (including the VM itself, for a
+// self-migration) is accounted by hw; we only guard the newly planned
+// load so a consolidation cannot oversubscribe a node at plan time.
+func (t *tracker) fits(n *hw.Node, vmBytes float64, self bool) bool {
+	if t.free[n] <= 0 {
+		return false
+	}
+	if self {
+		return true
+	}
+	return n.MemoryUsed()+t.planned[n]+vmBytes <= n.MemoryBytes
+}
+
+func (t *tracker) take(n *hw.Node, vmBytes float64, self bool) {
+	t.free[n]--
+	if !self {
+		t.planned[n] += vmBytes
+	}
+}
+
+func (t *tracker) release(n *hw.Node, vmBytes float64, self bool) {
+	t.free[n]++
+	if !self {
+		t.planned[n] -= vmBytes
+	}
+}
+
+// Place assigns every job destination nodes under the directive. Jobs are
+// processed in the given order; ties break on candidate order, so the
+// result is deterministic for a fixed input.
+func Place(jobs []*Job, topo *Topology, dir Directive, pol PlacementPolicy) ([]Assignment, error) {
+	tr, err := newTracker(topo, dir, nil)
+	if err != nil {
+		return nil, err
+	}
+	asgs := make([]Assignment, 0, len(jobs))
+	for _, j := range jobs {
+		a, err := placeFirstFit(j, tr)
+		if err != nil {
+			return nil, err
+		}
+		asgs = append(asgs, a)
+	}
+	if pol == PlaceSwap {
+		refine(asgs, tr)
+	}
+	return asgs, nil
+}
+
+// PlaceOne re-places a single job against the directive's candidates with
+// `taken` slots already consumed (the executor's replanning path: other
+// jobs' destinations and already-landed VMs occupy slots). The swap
+// policy degenerates to best-fit by affinity — there is no peer to swap
+// with.
+func PlaceOne(job *Job, topo *Topology, dir Directive, pol PlacementPolicy, taken map[*hw.Node]int) (Assignment, error) {
+	tr, err := newTracker(topo, dir, taken)
+	if err != nil {
+		return Assignment{}, err
+	}
+	if pol == PlaceSwap {
+		return placeBestFit(job, tr)
+	}
+	return placeFirstFit(job, tr)
+}
+
+// placeFirstFit gives the job the first candidate nodes with free
+// capacity, in preference order — the greedy baseline.
+func placeFirstFit(j *Job, tr *tracker) (Assignment, error) {
+	return placeOrdered(j, tr, tr.order)
+}
+
+// placeBestFit gives the job the highest-affinity free nodes.
+func placeBestFit(j *Job, tr *tracker) (Assignment, error) {
+	order := append([]*hw.Node(nil), tr.order...)
+	sort.SliceStable(order, func(a, b int) bool {
+		return affinity(j, order[a]) > affinity(j, order[b])
+	})
+	return placeOrdered(j, tr, order)
+}
+
+func placeOrdered(j *Job, tr *tracker, order []*hw.Node) (Assignment, error) {
+	a := Assignment{Job: j}
+	for _, vm := range j.VMs() {
+		bytes := vm.Memory().TotalBytes()
+		placed := false
+		for _, n := range order {
+			self := vm.Node() == n
+			if !tr.fits(n, bytes, self) {
+				continue
+			}
+			tr.take(n, bytes, self)
+			a.Dsts = append(a.Dsts, n)
+			placed = true
+			break
+		}
+		if !placed {
+			// Roll back this job's partial claim before failing.
+			for i, n := range a.Dsts {
+				tr.release(n, j.VMs()[i].Memory().TotalBytes(), j.VMs()[i].Node() == n)
+			}
+			return a, fmt.Errorf("%w: job %s VM %s", ErrNoCapacity, j.Name, vm.Name())
+		}
+	}
+	return a, nil
+}
+
+// refine is the swap-based local search: alternate single-job relocation
+// into free capacity with pairwise destination swaps until a full pass
+// finds no strictly improving move (bounded passes keep it O(jobs²) per
+// pass and guarantee termination — the score is integral and strictly
+// increases).
+func refine(asgs []Assignment, tr *tracker) {
+	const maxPasses = 16
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		// Relocation: re-place each job on the best free nodes if that
+		// strictly beats its current score.
+		for i := range asgs {
+			if relocate(&asgs[i], tr) {
+				improved = true
+			}
+		}
+		// Pairwise swap: exchange two jobs' destination sets when the
+		// sum of affinities goes up. Shapes must match, so the slot
+		// claims are identical either way (the planned-memory estimate
+		// tolerates the byte difference between comparable VM shapes).
+		for i := 0; i < len(asgs); i++ {
+			for j := i + 1; j < len(asgs); j++ {
+				if trySwap(&asgs[i], &asgs[j]) {
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}
+
+func relocate(a *Assignment, tr *tracker) bool {
+	vms := a.Job.VMs()
+	// Free the job's current claim, best-fit from scratch, keep the
+	// better of the two.
+	for i, n := range a.Dsts {
+		tr.release(n, vms[i].Memory().TotalBytes(), vms[i].Node() == n)
+	}
+	old := *a
+	oldScore := old.Score()
+	cand, err := placeBestFit(a.Job, tr)
+	if err == nil && cand.Score() > oldScore {
+		*a = cand
+		return true
+	}
+	if err == nil {
+		// Not better: release the candidate claim and restore the old one.
+		for i, n := range cand.Dsts {
+			tr.release(n, vms[i].Memory().TotalBytes(), vms[i].Node() == n)
+		}
+	}
+	for i, n := range old.Dsts {
+		tr.take(n, vms[i].Memory().TotalBytes(), vms[i].Node() == n)
+	}
+	*a = old
+	return false
+}
+
+func trySwap(a, b *Assignment) bool {
+	if len(a.Dsts) != len(b.Dsts) {
+		return false
+	}
+	before := a.Score() + b.Score()
+	a.Dsts, b.Dsts = b.Dsts, a.Dsts
+	if a.Score()+b.Score() > before {
+		return true
+	}
+	a.Dsts, b.Dsts = b.Dsts, a.Dsts
+	return false
+}

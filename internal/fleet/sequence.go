@@ -1,0 +1,273 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// CostModel prices one gang migration for the sequencer. These are
+// planning estimates — the executor measures reality; the estimates only
+// have to rank schedules correctly. Defaults follow the calibrated VMM
+// model (EXPERIMENTS.md): cross-node hotplug ≈12 s under migration noise,
+// IB link-up ≈30 s, the single-core QEMU sender ≈0.1625 GB/s per VM.
+type CostModel struct {
+	// Coordination is the quiesce estimate per migration.
+	Coordination sim.Time
+	// Hotplug is the detach+attach fan-out estimate (IB-capable jobs).
+	Hotplug sim.Time
+	// IBLinkup is the port-training estimate when the destination
+	// re-attaches an HCA.
+	IBLinkup sim.Time
+	// PerVMWireRate caps a single VM's migration stream (bytes/sec).
+	PerVMWireRate float64
+}
+
+// DefaultCostModel returns the calibrated planning estimates.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Coordination:  1 * sim.Second,
+		Hotplug:       12 * sim.Second,
+		IBLinkup:      30 * sim.Second,
+		PerVMWireRate: 0.1625e9,
+	}
+}
+
+func (m CostModel) withDefaults() CostModel {
+	d := DefaultCostModel()
+	if m.Coordination <= 0 {
+		m.Coordination = d.Coordination
+	}
+	if m.Hotplug <= 0 {
+		m.Hotplug = d.Hotplug
+	}
+	if m.IBLinkup <= 0 {
+		m.IBLinkup = d.IBLinkup
+	}
+	if m.PerVMWireRate <= 0 {
+		m.PerVMWireRate = d.PerVMWireRate
+	}
+	return m
+}
+
+// Migration is one job's priced move: payload, fixed overheads, and the
+// shared links it crosses.
+type Migration struct {
+	Job  *Job
+	Dsts []*hw.Node
+	// Bytes is the estimated wire payload across all VMs (touched guest
+	// memory; compression makes the real transfer smaller, uniformly).
+	Bytes float64
+	// Fixed is the bandwidth-independent overhead estimate: coordination
+	// plus, for IB-capable jobs, hotplug and (on IB destinations)
+	// link-up.
+	Fixed sim.Time
+	// MaxRate caps the gang's aggregate wire rate (one single-core
+	// sender per VM).
+	MaxRate float64
+	// Links names the shared WAN circuits the gang crosses (source and
+	// destination site uplinks, deduplicated).
+	Links []string
+	// replanned marks a migration whose destinations the executor
+	// reassigned after the original plan was laid down.
+	replanned bool
+}
+
+// MigrationOf prices moving the job to dsts under the cost model.
+func (t *Topology) MigrationOf(j *Job, dsts []*hw.Node, m CostModel) *Migration {
+	m = m.withDefaults()
+	mig := &Migration{Job: j, Dsts: dsts, Fixed: m.Coordination}
+	links := map[string]bool{}
+	vms := j.VMs()
+	dstIB := false
+	for i, vm := range vms {
+		mig.Bytes += vm.Memory().TouchedBytes()
+		mig.MaxRate += m.PerVMWireRate
+		src, dst := t.SiteOf(vm.Node()), t.SiteOf(dsts[i])
+		if src != dst {
+			for _, s := range []*Site{src, dst} {
+				if s != nil && s.WANBandwidth > 0 {
+					links[s.uplink()] = true
+				}
+			}
+		}
+		if dsts[i].HasInfiniBand() {
+			dstIB = true
+		}
+	}
+	if j.IBCapable {
+		mig.Fixed += m.Hotplug
+		if dstIB {
+			mig.Fixed += m.IBLinkup
+		}
+	}
+	for l := range links {
+		mig.Links = append(mig.Links, l)
+	}
+	sort.Strings(mig.Links)
+	return mig
+}
+
+// soloTime is the migration's duration with no contention.
+func (mig *Migration) soloTime(caps map[string]float64) sim.Time {
+	rate := mig.MaxRate
+	for _, l := range mig.Links {
+		if c, ok := caps[l]; ok && c < rate {
+			rate = c
+		}
+	}
+	if rate <= 0 || mig.Bytes <= 0 {
+		return mig.Fixed
+	}
+	return mig.Fixed + sim.FromSeconds(mig.Bytes/rate)
+}
+
+// SeqPolicy selects how migrations are ordered and overlapped.
+type SeqPolicy struct {
+	// Batched enables concurrent gang execution; false runs migrations
+	// strictly one at a time, in plan order.
+	Batched bool
+	// Cap bounds concurrent migrations per batch (0 = unlimited). The
+	// paper's runtime refuses concurrent checkpoints per job, so the cap
+	// is across jobs, not within one.
+	Cap int
+}
+
+// String returns the policy label.
+func (p SeqPolicy) String() string {
+	if !p.Batched {
+		return "sequential"
+	}
+	if p.Cap > 0 {
+		return fmt.Sprintf("batched(cap=%d)", p.Cap)
+	}
+	return "batched"
+}
+
+// Sequence is an ordered set of migration batches: batches execute one
+// after another, members of a batch execute concurrently.
+type Sequence struct {
+	Batches [][]*Migration
+	// PerBatch is each batch's predicted duration under shared-link
+	// contention; Predicted is their sum (the predicted makespan).
+	PerBatch  []sim.Time
+	Predicted sim.Time
+}
+
+// batchTime predicts one batch's duration: each shared link's capacity
+// splits equally among the batch members crossing it, each migration runs
+// at the minimum of its own aggregate sender rate and its worst link
+// share, and the batch lasts as long as its slowest member. (A static
+// fair-share estimate — the fabric's max-min allocator is the ground
+// truth; this only has to rank schedules.)
+func batchTime(batch []*Migration, caps map[string]float64) sim.Time {
+	crossing := map[string]int{}
+	for _, m := range batch {
+		for _, l := range m.Links {
+			crossing[l]++
+		}
+	}
+	var worst sim.Time
+	for _, m := range batch {
+		rate := m.MaxRate
+		for _, l := range m.Links {
+			if c, ok := caps[l]; ok {
+				if share := c / float64(crossing[l]); share < rate {
+					rate = share
+				}
+			}
+		}
+		d := m.Fixed
+		if rate > 0 && m.Bytes > 0 {
+			d += sim.FromSeconds(m.Bytes / rate)
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// PlanSequence orders the migrations under the policy.
+//
+// Sequential: one migration per batch, in input order.
+//
+// Batched: longest-processing-time-first list scheduling — migrations are
+// sorted by contention-free duration (descending, ties by job name so the
+// plan is deterministic), then each is appended to whichever existing
+// batch yields the smallest predicted makespan, or to a new batch when
+// that is cheaper or every batch is at the concurrency cap. Migrations
+// that share no links land in the same batch (they do not stretch it);
+// conflicting migrations spread across batches once splitting a circuit
+// costs more than waiting.
+func PlanSequence(migs []*Migration, caps map[string]float64, pol SeqPolicy) Sequence {
+	var seq Sequence
+	if len(migs) == 0 {
+		return seq
+	}
+	if !pol.Batched {
+		for _, m := range migs {
+			seq.Batches = append(seq.Batches, []*Migration{m})
+		}
+	} else {
+		order := append([]*Migration(nil), migs...)
+		sort.SliceStable(order, func(i, j int) bool {
+			di, dj := order[i].soloTime(caps), order[j].soloTime(caps)
+			if di != dj {
+				return di > dj
+			}
+			return order[i].Job.Name < order[j].Job.Name
+		})
+		for _, m := range order {
+			best, bestTotal := -1, sim.Time(0)
+			for bi, b := range seq.Batches {
+				if pol.Cap > 0 && len(b) >= pol.Cap {
+					continue
+				}
+				total := predict(seq.Batches, caps, bi, m)
+				if best == -1 || total < bestTotal {
+					best, bestTotal = bi, total
+				}
+			}
+			newTotal := predict(seq.Batches, caps, -1, m)
+			if best == -1 || newTotal < bestTotal {
+				seq.Batches = append(seq.Batches, []*Migration{m})
+			} else {
+				seq.Batches[best] = append(seq.Batches[best], m)
+			}
+		}
+	}
+	for _, b := range seq.Batches {
+		d := batchTime(b, caps)
+		seq.PerBatch = append(seq.PerBatch, d)
+		seq.Predicted += d
+	}
+	return seq
+}
+
+// predict returns the makespan with m added to batch into (-1 = a new
+// batch).
+func predict(batches [][]*Migration, caps map[string]float64, into int, m *Migration) sim.Time {
+	var total sim.Time
+	for bi, b := range batches {
+		if bi == into {
+			b = append(append([]*Migration(nil), b...), m)
+		}
+		total += batchTime(b, caps)
+	}
+	if into == -1 {
+		total += batchTime([]*Migration{m}, caps)
+	}
+	return total
+}
+
+// Migrations returns the sequence's migrations in execution order.
+func (s Sequence) Migrations() []*Migration {
+	var out []*Migration
+	for _, b := range s.Batches {
+		out = append(out, b...)
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// mig builds a priced migration without hardware: the sequencer only
+// reads Job.Name, Bytes, Fixed, MaxRate and Links.
+func mig(name string, gb float64, fixed sim.Time, rate float64, links ...string) *Migration {
+	return &Migration{
+		Job:     &Job{Name: name},
+		Bytes:   gb * 1e9,
+		Fixed:   fixed,
+		MaxRate: rate,
+		Links:   links,
+	}
+}
+
+func TestSoloTimeBindsOnLinkOrSender(t *testing.T) {
+	caps := map[string]float64{"wan:a": 1e9}
+	// Sender-bound: 2 GB at 0.5 GB/s = 4 s + 3 s fixed.
+	m := mig("j0", 2, 3*sim.Second, 0.5e9, "wan:a")
+	if got := m.soloTime(caps); got != 7*sim.Second {
+		t.Fatalf("sender-bound solo = %v, want 7s", got)
+	}
+	// Link-bound: raise the sender past the 1 GB/s circuit.
+	m.MaxRate = 4e9
+	if got := m.soloTime(caps); got != 5*sim.Second {
+		t.Fatalf("link-bound solo = %v, want 5s", got)
+	}
+	// No payload: fixed cost only.
+	m.Bytes = 0
+	if got := m.soloTime(caps); got != 3*sim.Second {
+		t.Fatalf("zero-payload solo = %v, want 3s", got)
+	}
+}
+
+func TestBatchTimeSplitsSharedLinks(t *testing.T) {
+	caps := map[string]float64{"wan:a": 1e9}
+	a := mig("a", 2, 0, 1e9, "wan:a")
+	b := mig("b", 2, 0, 1e9, "wan:a")
+	// Alone: 2 s each. Together on one 1 GB/s circuit: each gets 0.5 GB/s
+	// → 4 s.
+	if got := batchTime([]*Migration{a}, caps); got != 2*sim.Second {
+		t.Fatalf("solo batch = %v, want 2s", got)
+	}
+	if got := batchTime([]*Migration{a, b}, caps); got != 4*sim.Second {
+		t.Fatalf("shared batch = %v, want 4s", got)
+	}
+	// A member on a different circuit is unaffected by the split.
+	c := mig("c", 2, 0, 1e9, "wan:b")
+	caps["wan:b"] = 1e9
+	if got := batchTime([]*Migration{a, b, c}, caps); got != 4*sim.Second {
+		t.Fatalf("disjoint-link batch = %v, want 4s", got)
+	}
+}
+
+func TestPlanSequenceSequentialKeepsOrder(t *testing.T) {
+	caps := map[string]float64{}
+	migs := []*Migration{mig("b", 1, 0, 1e9), mig("a", 2, 0, 1e9)}
+	seq := PlanSequence(migs, caps, SeqPolicy{})
+	if len(seq.Batches) != 2 {
+		t.Fatalf("%d batches, want one per migration", len(seq.Batches))
+	}
+	if seq.Batches[0][0] != migs[0] || seq.Batches[1][0] != migs[1] {
+		t.Fatal("sequential plan reordered the input")
+	}
+	if seq.Predicted != 3*sim.Second {
+		t.Fatalf("predicted = %v, want 3s", seq.Predicted)
+	}
+}
+
+func TestPlanSequenceBatchesNonConflicting(t *testing.T) {
+	// Two disjoint circuits: all four migrations can overlap freely, so
+	// batching collapses them into one batch whose span is the slowest
+	// member — strictly better than the sequential sum.
+	caps := map[string]float64{"wan:a": 1e9, "wan:b": 1e9}
+	migs := []*Migration{
+		mig("a1", 2, sim.Second, 2e9, "wan:a"),
+		mig("b1", 2, sim.Second, 2e9, "wan:b"),
+		mig("a2", 1, sim.Second, 2e9, "wan:a"),
+		mig("b2", 1, sim.Second, 2e9, "wan:b"),
+	}
+	seqSeq := PlanSequence(migs, caps, SeqPolicy{})
+	bat := PlanSequence(migs, caps, SeqPolicy{Batched: true})
+	if bat.Predicted >= seqSeq.Predicted {
+		t.Fatalf("batched %v not below sequential %v", bat.Predicted, seqSeq.Predicted)
+	}
+	if len(bat.Migrations()) != len(migs) {
+		t.Fatalf("batched plan lost migrations: %d/%d", len(bat.Migrations()), len(migs))
+	}
+}
+
+func TestPlanSequenceRespectsCap(t *testing.T) {
+	caps := map[string]float64{}
+	var migs []*Migration
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		migs = append(migs, mig(n, 1, sim.Second, 1e9))
+	}
+	seq := PlanSequence(migs, caps, SeqPolicy{Batched: true, Cap: 2})
+	if len(seq.Batches) < 3 {
+		t.Fatalf("%d batches for 5 migrations at cap 2, want ≥3", len(seq.Batches))
+	}
+	for i, b := range seq.Batches {
+		if len(b) > 2 {
+			t.Fatalf("batch %d has %d members, cap is 2", i, len(b))
+		}
+	}
+}
+
+func TestPlanSequenceSpreadsConflicts(t *testing.T) {
+	// One shared 1 GB/s circuit, migrations that saturate it alone:
+	// batching them would double every member's wire time without saving
+	// fixed cost, so the planner keeps heavy conflicting transfers apart.
+	caps := map[string]float64{"wan:a": 1e9}
+	heavy := []*Migration{
+		mig("h1", 10, 0, 1e9, "wan:a"),
+		mig("h2", 10, 0, 1e9, "wan:a"),
+	}
+	seq := PlanSequence(heavy, caps, SeqPolicy{Batched: true})
+	if seq.Predicted > 20*sim.Second {
+		t.Fatalf("predicted = %v, want ≤ 20s (no worse than serializing)", seq.Predicted)
+	}
+}
+
+func TestPlanSequenceDeterministic(t *testing.T) {
+	caps := map[string]float64{"wan:a": 1e9, "wan:b": 2e9}
+	build := func() []*Migration {
+		return []*Migration{
+			mig("a", 3, sim.Second, 1e9, "wan:a"),
+			mig("b", 3, sim.Second, 1e9, "wan:a"), // tie with a → name order
+			mig("c", 1, 2*sim.Second, 1e9, "wan:b"),
+			mig("d", 5, 0, 1e9, "wan:a", "wan:b"),
+		}
+	}
+	shape := func(s Sequence) [][]string {
+		var out [][]string
+		for _, b := range s.Batches {
+			var names []string
+			for _, m := range b {
+				names = append(names, m.Job.Name)
+			}
+			out = append(out, names)
+		}
+		return out
+	}
+	first := PlanSequence(build(), caps, SeqPolicy{Batched: true, Cap: 3})
+	for i := 0; i < 5; i++ {
+		again := PlanSequence(build(), caps, SeqPolicy{Batched: true, Cap: 3})
+		if !reflect.DeepEqual(shape(first), shape(again)) ||
+			first.Predicted != again.Predicted {
+			t.Fatalf("run %d differs: %v (%v) vs %v (%v)",
+				i, shape(first), first.Predicted, shape(again), again.Predicted)
+		}
+	}
+}
+
+func TestCostModelDefaults(t *testing.T) {
+	// The zero value must resolve to the calibrated defaults, and partial
+	// overrides must survive.
+	m := CostModel{Hotplug: 5 * sim.Second}.withDefaults()
+	d := DefaultCostModel()
+	if m.Hotplug != 5*sim.Second {
+		t.Fatalf("override lost: hotplug = %v", m.Hotplug)
+	}
+	if m.Coordination != d.Coordination || m.IBLinkup != d.IBLinkup || m.PerVMWireRate != d.PerVMWireRate {
+		t.Fatalf("defaults not applied: %+v", m)
+	}
+}

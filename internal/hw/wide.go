@@ -35,50 +35,87 @@ type WideArea struct {
 	Trunks []*fabric.Trunk
 }
 
+// SiteConfig shapes one data center of a heterogeneous wide-area
+// deployment: its node count and hardware spec (IB only when the spec's
+// IBBandwidth > 0), and optionally its own WAN circuit capacity.
+type SiteConfig struct {
+	Nodes int
+	Spec  NodeSpec
+	// WANBandwidth overrides the deployment-wide circuit capacity for
+	// this site when > 0.
+	WANBandwidth float64
+}
+
 // WideAreaConfig shapes a wide-area deployment.
 type WideAreaConfig struct {
 	DataCenters int
 	NodesPerDC  int
 	Spec        NodeSpec
+	// Sites, when non-empty, gives each data center its own shape —
+	// heterogeneous fleets mix IB-equipped and Ethernet-only sites. It
+	// overrides DataCenters/NodesPerDC/Spec.
+	Sites []SiteConfig
 	// WANBandwidth is each site's circuit capacity (bytes/sec, per
 	// direction) and WANLatency its one-way latency.
 	WANBandwidth float64
 	WANLatency   sim.Time
 }
 
-// NewWideArea builds the multi-site testbed. Nodes follow Spec; sites get
-// InfiniBand only when Spec.IBBandwidth > 0.
+// sites normalizes the homogeneous and per-site forms of the config.
+func (cfg WideAreaConfig) sites() []SiteConfig {
+	if len(cfg.Sites) > 0 {
+		return cfg.Sites
+	}
+	out := make([]SiteConfig, cfg.DataCenters)
+	for i := range out {
+		out[i] = SiteConfig{Nodes: cfg.NodesPerDC, Spec: cfg.Spec}
+	}
+	return out
+}
+
+// NewWideArea builds the multi-site testbed. Nodes follow each site's
+// spec; sites get InfiniBand only when their spec's IBBandwidth > 0.
 func NewWideArea(k *sim.Kernel, cfg WideAreaConfig) *WideArea {
-	if cfg.DataCenters < 1 || cfg.NodesPerDC < 1 {
-		panic(fmt.Sprintf("hw: bad wide-area shape %d×%d", cfg.DataCenters, cfg.NodesPerDC))
+	sites := cfg.sites()
+	if len(sites) < 1 {
+		panic("hw: wide-area deployment with no sites")
+	}
+	for i, s := range sites {
+		if s.Nodes < 1 {
+			panic(fmt.Sprintf("hw: wide-area site %d with %d nodes", i, s.Nodes))
+		}
 	}
 	n := fabric.NewNetwork(k)
 	core := n.NewSwitch("wan-core", fabric.Ethernet)
 	w := &WideArea{K: k, Network: n, Core: core}
 	w.Segment = fabric.NewEthSegment(core)
-	for d := 0; d < cfg.DataCenters; d++ {
+	for d, site := range sites {
 		name := fmt.Sprintf("dc%d", d)
 		dc := &DataCenter{
 			Name:      name,
 			EthSwitch: n.NewSwitch(name+"/eth", fabric.Ethernet),
 		}
-		w.Trunks = append(w.Trunks, n.Connect(dc.EthSwitch, core, cfg.WANBandwidth, cfg.WANLatency))
-		if cfg.Spec.IBBandwidth > 0 {
+		wanBW := cfg.WANBandwidth
+		if site.WANBandwidth > 0 {
+			wanBW = site.WANBandwidth
+		}
+		w.Trunks = append(w.Trunks, n.Connect(dc.EthSwitch, core, wanBW, cfg.WANLatency))
+		if site.Spec.IBBandwidth > 0 {
 			dc.IBSwitch = n.NewSwitch(name+"/ib", fabric.InfiniBand)
 			dc.Subnet = fabric.NewIBSubnet(dc.IBSwitch)
 		}
 		dc.Cluster = &Cluster{Name: name}
-		for i := 0; i < cfg.NodesPerDC; i++ {
+		for i := 0; i < site.Nodes; i++ {
 			nodeName := fmt.Sprintf("%s-n%02d", name, i)
 			node := &Node{
 				Name:        nodeName,
-				Cores:       cfg.Spec.Cores,
-				MemoryBytes: cfg.Spec.MemoryBytes,
-				CPU:         sim.NewPS(k, float64(cfg.Spec.Cores), 1),
-				NIC:         w.Segment.NewNICOn(dc.EthSwitch, nodeName+"/eth0", cfg.Spec.EthBandwidth),
+				Cores:       site.Spec.Cores,
+				MemoryBytes: site.Spec.MemoryBytes,
+				CPU:         sim.NewPS(k, float64(site.Spec.Cores), 1),
+				NIC:         w.Segment.NewNICOn(dc.EthSwitch, nodeName+"/eth0", site.Spec.EthBandwidth),
 			}
 			if dc.Subnet != nil {
-				node.HCA = dc.Subnet.NewHCA(nodeName+"/ib0", cfg.Spec.IBBandwidth)
+				node.HCA = dc.Subnet.NewHCA(nodeName+"/ib0", site.Spec.IBBandwidth)
 				node.HCA.PowerOn()
 			}
 			dc.Cluster.Nodes = append(dc.Cluster.Nodes, node)

@@ -30,6 +30,15 @@ const (
 	EventSpareUsed EventKind = "spare-node"
 	// EventRollback: the script gave up and rolled the job back in place.
 	EventRollback EventKind = "rolled-back"
+	// EventBatch: the fleet executor launched one batch of concurrent
+	// gang migrations.
+	EventBatch EventKind = "batch"
+	// EventReplan: the fleet planner reassigned a pending migration's
+	// destinations (e.g. a planned destination node crashed before the
+	// job's batch started).
+	EventReplan EventKind = "replanned"
+	// EventDeadlineMiss: a fleet directive finished after its deadline.
+	EventDeadlineMiss EventKind = "deadline-miss"
 )
 
 // Event is one timestamped orchestration event.

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/hw"
 	"repro/internal/ninja"
@@ -80,22 +81,46 @@ type Scheduler struct {
 // ErrAlreadyStarted guards against double Start.
 var ErrAlreadyStarted = errors.New("scheduler: already started")
 
+// DstCountError reports a planned event whose destination list does not
+// match the job's VM count — the migration script needs exactly one
+// destination node per VM, in job VM order.
+type DstCountError struct {
+	Event Event
+	Want  int // job VM count
+	Got   int // len(Event.Dsts)
+}
+
+func (e *DstCountError) Error() string {
+	return fmt.Sprintf("scheduler: event %s at t=%.2fs has %d destinations for a %d-VM job",
+		e.Event.Reason, e.Event.At.Seconds(), e.Got, e.Want)
+}
+
 // New builds a scheduler over an orchestrator.
 func New(orch *ninja.Orchestrator) *Scheduler {
 	return &Scheduler{k: orch.Job().Kernel(), orch: orch}
 }
 
 // Plan appends an event to the plan (events may be added in any order;
-// they execute sorted by time).
-func (s *Scheduler) Plan(ev Event) { s.plan = append(s.plan, ev) }
+// they execute sorted by time). The destination list is validated here,
+// at plan time: a mismatch against the job's VM count returns a
+// *DstCountError instead of surfacing mid-migration.
+func (s *Scheduler) Plan(ev Event) error {
+	if want := len(s.orch.Job().VMs()); len(ev.Dsts) != want {
+		return &DstCountError{Event: ev, Want: want, Got: len(ev.Dsts)}
+	}
+	s.plan = append(s.plan, ev)
+	return nil
+}
 
 // PlanSize returns the number of planned events.
 func (s *Scheduler) PlanSize() int { return len(s.plan) }
 
 // Start launches the plan executor. Events run strictly sequentially in
 // time order — a trigger that arrives while a previous migration is still
-// running waits for it (the runtime refuses concurrent checkpoints). The
-// returned future resolves when every planned event has executed.
+// running waits for it (the runtime refuses concurrent checkpoints).
+// Events sharing a timestamp execute in plan-insertion order (the sort is
+// stable), so a plan is deterministic regardless of timer coincidences.
+// The returned future resolves when every planned event has executed.
 func (s *Scheduler) Start() (*sim.Future[struct{}], error) {
 	if s.begun {
 		return nil, ErrAlreadyStarted
@@ -125,8 +150,11 @@ func (s *Scheduler) Outcomes() []Outcome { return s.done }
 // Spares is the scheduler's pool of standby destination nodes, handed to
 // the orchestrator (ninja.Options.Spares) so a migration whose planned
 // destination died mid-flight can be redirected instead of aborted. It
-// implements ninja.SparePool.
+// implements ninja.SparePool and is safe for concurrent use — a fleet of
+// orchestrators running gang migrations in parallel may all reach for the
+// same pool, and two of them must never walk away with the same node.
 type Spares struct {
+	mu    sync.Mutex
 	nodes []*hw.Node
 }
 
@@ -136,14 +164,24 @@ func NewSpares(nodes ...*hw.Node) *Spares {
 }
 
 // Add appends a standby node to the pool.
-func (s *Spares) Add(n *hw.Node) { s.nodes = append(s.nodes, n) }
+func (s *Spares) Add(n *hw.Node) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nodes = append(s.nodes, n)
+}
 
 // Remaining returns how many spares are still available.
-func (s *Spares) Remaining() int { return len(s.nodes) }
+func (s *Spares) Remaining() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.nodes)
+}
 
 // Acquire removes and returns the first healthy spare that is not already
 // a planned destination, or nil when none qualifies.
 func (s *Spares) Acquire(exclude []*hw.Node) *hw.Node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i, n := range s.nodes {
 		if n.Failed() || contains(exclude, n) {
 			continue

@@ -1,10 +1,16 @@
-package scheduler
+// External test package: the deployment helpers live in experiments, and
+// an in-package test importing experiments would forbid experiments (and
+// anything above it, like the fleet control plane) from ever importing
+// scheduler.
+package scheduler_test
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/experiments"
 	"repro/internal/mpi"
+	"repro/internal/scheduler"
 	"repro/internal/sim"
 )
 
@@ -34,13 +40,20 @@ func launchApp(t *testing.T, d *experiments.Deployment, iters int) *sim.Future[s
 	})
 }
 
+func mustPlan(t *testing.T, s *scheduler.Scheduler, ev scheduler.Event) {
+	t.Helper()
+	if err := s.Plan(ev); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPlannedEvacuationAndReturn(t *testing.T) {
 	d := deploy(t)
 	app := launchApp(t, d, 400)
-	s := New(d.Orch)
+	s := scheduler.New(d.Orch)
 	epoch := d.K.Now()
-	s.Plan(Event{At: epoch + 10*sim.Second, Reason: DisasterRecovery, Dsts: d.DstNodes(2)})
-	s.Plan(Event{At: epoch + 200*sim.Second, Reason: Recovery, Dsts: d.SrcNodes(2)})
+	mustPlan(t, s, scheduler.Event{At: epoch + 10*sim.Second, Reason: scheduler.DisasterRecovery, Dsts: d.DstNodes(2)})
+	mustPlan(t, s, scheduler.Event{At: epoch + 200*sim.Second, Reason: scheduler.Recovery, Dsts: d.SrcNodes(2)})
 	fin, err := s.Start()
 	if err != nil {
 		t.Fatal(err)
@@ -61,7 +74,7 @@ func TestPlannedEvacuationAndReturn(t *testing.T) {
 			t.Fatalf("%s started at %v before planned %v", o.Event.Reason, o.Started, o.Event.At)
 		}
 	}
-	if outs[0].Event.Reason != DisasterRecovery || outs[1].Event.Reason != Recovery {
+	if outs[0].Event.Reason != scheduler.DisasterRecovery || outs[1].Event.Reason != scheduler.Recovery {
 		t.Fatal("events executed out of order")
 	}
 	// VMs back home, transport back on InfiniBand.
@@ -78,12 +91,12 @@ func TestPlannedEvacuationAndReturn(t *testing.T) {
 func TestOverlappingEventsSerialize(t *testing.T) {
 	d := deploy(t)
 	app := launchApp(t, d, 400)
-	s := New(d.Orch)
+	s := scheduler.New(d.Orch)
 	epoch := d.K.Now()
 	// Second event fires while the first migration is still running: it
 	// must wait, not fail.
-	s.Plan(Event{At: epoch + 5*sim.Second, Reason: Maintenance, Dsts: d.DstNodes(2)})
-	s.Plan(Event{At: epoch + 6*sim.Second, Reason: Recovery, Dsts: d.SrcNodes(2)})
+	mustPlan(t, s, scheduler.Event{At: epoch + 5*sim.Second, Reason: scheduler.Maintenance, Dsts: d.DstNodes(2)})
+	mustPlan(t, s, scheduler.Event{At: epoch + 6*sim.Second, Reason: scheduler.Recovery, Dsts: d.SrcNodes(2)})
 	fin, _ := s.Start()
 	d.K.Run()
 	if !fin.Done() || !app.Done() {
@@ -98,22 +111,75 @@ func TestOverlappingEventsSerialize(t *testing.T) {
 	}
 }
 
+func TestPlanValidatesDstCount(t *testing.T) {
+	d := deploy(t) // 2-VM job
+	s := scheduler.New(d.Orch)
+	err := s.Plan(scheduler.Event{At: 10 * sim.Second, Reason: scheduler.Maintenance, Dsts: d.DstNodes(1)})
+	var dce *scheduler.DstCountError
+	if !errors.As(err, &dce) {
+		t.Fatalf("Plan with 1 destination for a 2-VM job: err = %v, want *DstCountError", err)
+	}
+	if dce.Want != 2 || dce.Got != 1 {
+		t.Fatalf("DstCountError = want %d / got %d", dce.Want, dce.Got)
+	}
+	if s.PlanSize() != 0 {
+		t.Fatalf("rejected event was planned anyway (PlanSize = %d)", s.PlanSize())
+	}
+	if err := s.Plan(scheduler.Event{At: 10 * sim.Second, Reason: scheduler.Maintenance, Dsts: d.DstNodes(2)}); err != nil {
+		t.Fatalf("valid event rejected: %v", err)
+	}
+}
+
+// Events planned for the same timestamp must execute in plan-insertion
+// order — the executor's sort is stable on At. Regression guard: an
+// unstable sort would make same-time plans nondeterministic.
+func TestSameTimestampEventsKeepPlanOrder(t *testing.T) {
+	d := deploy(t)
+	app := launchApp(t, d, 400)
+	s := scheduler.New(d.Orch)
+	at := d.K.Now() + 5*sim.Second
+	// Out and back, planned for the same instant: evacuation first.
+	mustPlan(t, s, scheduler.Event{At: at, Reason: scheduler.DisasterRecovery, Dsts: d.DstNodes(2)})
+	mustPlan(t, s, scheduler.Event{At: at, Reason: scheduler.Recovery, Dsts: d.SrcNodes(2)})
+	fin, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.K.Run()
+	if !fin.Done() || !app.Done() {
+		t.Fatal("incomplete")
+	}
+	outs := s.Outcomes()
+	if len(outs) != 2 {
+		t.Fatalf("%d outcomes", len(outs))
+	}
+	if outs[0].Event.Reason != scheduler.DisasterRecovery || outs[1].Event.Reason != scheduler.Recovery {
+		t.Fatalf("same-timestamp events ran out of plan order: %s then %s",
+			outs[0].Event.Reason, outs[1].Event.Reason)
+	}
+	for i, vm := range d.VMs {
+		if vm.Node() != d.Src.Nodes[i] {
+			t.Fatalf("VM %d not home after same-time out-and-back", i)
+		}
+	}
+}
+
 func TestDoubleStartRefused(t *testing.T) {
 	d := deploy(t)
-	s := New(d.Orch)
+	s := scheduler.New(d.Orch)
 	if _, err := s.Start(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Start(); err != ErrAlreadyStarted {
+	if _, err := s.Start(); err != scheduler.ErrAlreadyStarted {
 		t.Fatalf("err = %v", err)
 	}
 	d.K.Run()
 }
 
 func TestReasonString(t *testing.T) {
-	for r, want := range map[Reason]string{
-		Maintenance: "maintenance", Consolidation: "consolidation",
-		DisasterRecovery: "disaster-recovery", Recovery: "recovery",
+	for r, want := range map[scheduler.Reason]string{
+		scheduler.Maintenance: "maintenance", scheduler.Consolidation: "consolidation",
+		scheduler.DisasterRecovery: "disaster-recovery", scheduler.Recovery: "recovery",
 	} {
 		if r.String() != want {
 			t.Fatalf("%d → %s", r, r.String())

@@ -1,9 +1,11 @@
-package scheduler
+package scheduler_test
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/hw"
+	"repro/internal/scheduler"
 	"repro/internal/sim"
 )
 
@@ -11,7 +13,7 @@ func TestSparesAcquire(t *testing.T) {
 	k := sim.NewKernel()
 	tb := hw.NewTestbed(k)
 	c := tb.AddCluster("c", 4, hw.AGCNodeSpec)
-	s := NewSpares(c.Nodes...)
+	s := scheduler.NewSpares(c.Nodes...)
 	if s.Remaining() != 4 {
 		t.Fatalf("Remaining = %d, want 4", s.Remaining())
 	}
@@ -37,5 +39,49 @@ func TestSparesAcquire(t *testing.T) {
 	s.Add(c.Nodes[3]) // duplicate add is the caller's business; pool is a list
 	if got := s.Acquire(nil); got != c.Nodes[3] {
 		t.Fatalf("Acquire after Add = %v, want node 3", got)
+	}
+}
+
+// A fleet of orchestrators shares one spare pool; concurrent Acquire
+// calls must neither race (run under -race) nor hand the same node to
+// two callers.
+func TestSparesConcurrentAcquire(t *testing.T) {
+	k := sim.NewKernel()
+	tb := hw.NewTestbed(k)
+	const n = 16
+	c := tb.AddCluster("c", n, hw.AGCNodeSpec)
+	s := scheduler.NewSpares(c.Nodes...)
+
+	const acquirers = 4 * n // more claimants than spares: some must get nil
+	got := make([]*hw.Node, acquirers)
+	var wg sync.WaitGroup
+	for i := 0; i < acquirers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i] = s.Acquire(nil)
+			s.Remaining() // interleave reads with the takes
+		}()
+	}
+	wg.Wait()
+
+	seen := map[*hw.Node]bool{}
+	wins := 0
+	for _, node := range got {
+		if node == nil {
+			continue
+		}
+		if seen[node] {
+			t.Fatalf("node %s handed to two acquirers", node.Name)
+		}
+		seen[node] = true
+		wins++
+	}
+	if wins != n {
+		t.Fatalf("%d spares handed out, want exactly %d", wins, n)
+	}
+	if s.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after draining, want 0", s.Remaining())
 	}
 }

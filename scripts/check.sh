@@ -1,8 +1,17 @@
 #!/bin/sh
-# Pre-merge gate, equivalent to `make check`: build + vet + race-enabled
-# full test suite. Run from anywhere inside the repository.
+# Pre-merge gate, equivalent to `make check`: formatting + build + vet +
+# race-enabled full test suite + a fast fleet-evacuation smoke run. Run
+# from anywhere inside the repository.
 set -eux
 cd "$(dirname "$0")/.."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 go build ./...
 go vet ./...
 go test -race ./...
+# Smoke the fleet control plane end to end (small fleet, ~1 s).
+go run ./cmd/ninjabench -run=ext-fleet -fleet-jobs=3 >/dev/null
