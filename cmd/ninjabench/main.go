@@ -26,6 +26,7 @@ func main() {
 	run := flag.String("run", "all", "comma-separated: table1,table2,fig6,fig7,fig8a,fig8b,ext-faults,ext-fleet or 'all'")
 	scale := flag.Float64("scale", 1.0, "iteration scale for fig7 (1.0 = full class D)")
 	fleetJobs := flag.Int("fleet-jobs", 0, "fleet size for ext-fleet (0 = default 8-job evacuation)")
+	drainCap := flag.Int("fleet-drain-cap", 0, "jobs-in-flight cap per rolling-maintenance mini-plan (0 = default 2)")
 	jsonPath := flag.String("json", "", "also write the selected tables to this file as JSON")
 	flag.Parse()
 
@@ -129,7 +130,7 @@ func main() {
 		emit(experiments.ExtFaultMatrixRender(rows))
 	}
 	if want["ext-fleet"] {
-		rows, err := experiments.ExtFleetMatrix(experiments.FleetConfig{Jobs: *fleetJobs})
+		rows, err := experiments.ExtFleetMatrix(experiments.FleetConfig{Jobs: *fleetJobs, DrainCap: *drainCap})
 		if err != nil {
 			fail("ext-fleet", err)
 		}

@@ -48,6 +48,9 @@ type FleetConfig struct {
 	// directive so late migrations still find ranks to quiesce
 	// (default 3000 × 0.2 s ≈ 600 s of compute).
 	AppIters int
+	// DrainCap is the rolling-maintenance jobs-in-flight cap per
+	// mini-plan (default 2).
+	DrainCap int
 }
 
 func (cfg FleetConfig) withDefaults() FleetConfig {
@@ -73,6 +76,9 @@ func (cfg FleetConfig) withDefaults() FleetConfig {
 	}
 	if cfg.AppIters <= 0 {
 		cfg.AppIters = 3000
+	}
+	if cfg.DrainCap <= 0 {
+		cfg.DrainCap = 2
 	}
 	return cfg
 }
@@ -198,20 +204,46 @@ func DeployFleet(cfg FleetConfig) (*FleetDeployment, error) {
 	return d, nil
 }
 
-// FleetScenario is one matrix cell's policy pair, plus the fault switch.
+// FleetScenario is one matrix cell: the directive kind, the policy pair,
+// and the fault switches.
 type FleetScenario struct {
+	// Kind selects the directive (zero value = Evacuate).
+	Kind      fleet.DirectiveKind
 	Placement fleet.PlacementPolicy
 	Seq       fleet.SeqPolicy
+	// MaxInFlight caps jobs migrating concurrently per rolling-maintenance
+	// mini-plan.
+	MaxInFlight int
+	// ReturnHome makes the evacuation bidirectional: the whole source site
+	// crashes just before the trigger and restores 300 s later, so the
+	// fleet evacuates the failed site and then migrates every job back to
+	// its original node.
+	ReturnHome bool
 	// Faulted crashes a planned destination of the final batch shortly
 	// after the directive starts, exercising the executor's replanning.
 	Faulted bool
+	// ForcedRollback kills job00's migration at the first precopy pass
+	// until its ninja retry budget is spent, forcing a rollback-in-place
+	// the executor must re-queue into a fresh batch.
+	ForcedRollback bool
 }
 
 // Label renders "swap/batched(cap=4)"-style identifiers.
 func (sc FleetScenario) Label() string {
-	l := sc.Placement.String() + "/" + sc.Seq.String()
+	var l string
+	if sc.Kind == fleet.RollingMaintenance {
+		l = fmt.Sprintf("rolling(cap=%d)/%s", sc.MaxInFlight, sc.Placement)
+	} else {
+		l = sc.Placement.String() + "/" + sc.Seq.String()
+	}
+	if sc.ReturnHome {
+		l += "+return"
+	}
 	if sc.Faulted {
 		l += "+crash"
+	}
+	if sc.ForcedRollback {
+		l += "+rollback"
 	}
 	return l
 }
@@ -232,6 +264,7 @@ type FleetRow struct {
 	Downtime   sim.Time // summed per-job service interruption
 	Deadline   bool
 	Replans    int
+	Requeues   int
 	Outcomes   string
 }
 
@@ -242,9 +275,11 @@ type FleetResult struct {
 	Report fleet.Report
 }
 
-// RunFleetScenario deploys a fresh fleet, plans the evacuation of dc0
+// RunFleetScenario deploys a fresh fleet, plans the directive over dc0
 // under the scenario's policies, runs it, and reports. The deadline is
-// fixed at trigger + 400 s for every scenario so rows are comparable.
+// fixed per directive shape (400 s for a plain evacuation, 800 s for a
+// bidirectional one, 1200 s for a rolling drain) so rows within a shape
+// are comparable.
 func RunFleetScenario(cfg FleetConfig, sc FleetScenario) (*FleetResult, error) {
 	cfg = cfg.withDefaults()
 	d, err := DeployFleet(cfg)
@@ -252,10 +287,19 @@ func RunFleetScenario(cfg FleetConfig, sc FleetScenario) (*FleetResult, error) {
 		return nil, err
 	}
 	trigger := d.Epoch + 5*sim.Second
+	deadline := trigger + 400*sim.Second
+	switch {
+	case sc.Kind == fleet.RollingMaintenance:
+		deadline = trigger + 1200*sim.Second
+	case sc.ReturnHome:
+		deadline = trigger + 800*sim.Second
+	}
 	dir := fleet.Directive{
-		Kind:     fleet.Evacuate,
-		Source:   d.Source,
-		Deadline: trigger + 400*sim.Second,
+		Kind:        sc.Kind,
+		Source:      d.Source,
+		Deadline:    deadline,
+		MaxInFlight: sc.MaxInFlight,
+		ReturnHome:  sc.ReturnHome,
 	}
 	planner := &fleet.Planner{Topo: d.Topo, Placement: sc.Placement, Seq: sc.Seq}
 	plan, err := planner.Plan(dir, d.Jobs)
@@ -268,7 +312,10 @@ func RunFleetScenario(cfg FleetConfig, sc FleetScenario) (*FleetResult, error) {
 		Placement: sc.Placement,
 		Replan:    true,
 	})
-	if sc.Faulted {
+	logInjection := func(kind, subject, detail string) {
+		ex.Events().Record(metrics.EventFaultInjected, kind, subject, detail)
+	}
+	if sc.Faulted && len(plan.Seq.Batches) > 0 {
 		// Crash the first planned destination of the final batch while the
 		// first batch is still in flight: the fleet must notice before
 		// launching the victim's batch and re-place it.
@@ -279,12 +326,43 @@ func RunFleetScenario(cfg FleetConfig, sc FleetScenario) (*FleetResult, error) {
 			Specs: []faults.Spec{{
 				Kind: faults.KindNodeCrash, Target: victim.Name, At: trigger + 5*sim.Second,
 			}},
-		}, faults.Env{
-			Nodes: []*hw.Node{victim},
-			Log: func(kind, subject, detail string) {
-				ex.Events().Record(metrics.EventFaultInjected, kind, subject, detail)
-			},
-		})
+		}, faults.Env{Nodes: []*hw.Node{victim}, Log: logInjection})
+		if err := inj.Arm(); err != nil {
+			return nil, err
+		}
+	}
+	if sc.ReturnHome {
+		// The whole source site goes dark just before the trigger and comes
+		// back 300 s later. Failed nodes only refuse inbound migrations, so
+		// the fleet evacuates off the dead site, waits out the outage, and
+		// migrates everyone home.
+		var specs []faults.Spec
+		for _, n := range d.Source.Nodes {
+			specs = append(specs, faults.Spec{
+				Kind: faults.KindNodeCrash, Target: n.Name,
+				At: trigger - 2*sim.Second, For: 300 * sim.Second,
+			})
+		}
+		inj := faults.NewInjector(d.K, faults.Plan{
+			Name: "fleet-site-outage", Seed: 1, Specs: specs,
+		}, faults.Env{Nodes: d.Source.Nodes, Log: logInjection})
+		if err := inj.Arm(); err != nil {
+			return nil, err
+		}
+	}
+	if sc.ForcedRollback {
+		// Kill job00's migration at the first precopy pass on every ninja
+		// attempt (Count = the retry budget): the first executor attempt
+		// ends in a rollback-in-place, which the executor must re-queue;
+		// the fault budget is spent by then, so the re-queued attempt lands.
+		pol := ninja.DefaultRetryPolicy()
+		inj := faults.NewInjector(d.K, faults.Plan{
+			Name: "fleet-forced-rollback", Seed: 1,
+			Specs: []faults.Spec{{
+				Kind: faults.KindMigrateAbort, Target: "j00v00",
+				At: trigger, Pass: 1, Count: pol.MaxAttempts,
+			}},
+		}, faults.Env{VMs: d.VMs(), Log: logInjection})
 		if err := inj.Arm(); err != nil {
 			return nil, err
 		}
@@ -327,7 +405,15 @@ func RunFleetScenario(cfg FleetConfig, sc FleetScenario) (*FleetResult, error) {
 		Downtime:  rep.Downtime,
 		Deadline:  rep.DeadlineMet,
 		Replans:   rep.Replans,
+		Requeues:  rep.Requeues,
 		Outcomes:  rep.OutcomeCounts(),
+	}
+	if sc.Kind == fleet.RollingMaintenance {
+		// Rolling plans are placed and sequenced incrementally: count the
+		// mini-plans' batches instead of the (empty) up-front sequence.
+		for _, dr := range rep.Drains {
+			row.Batches += dr.Batches
+		}
 	}
 	for _, j := range d.Jobs {
 		if !j.IBCapable {
@@ -347,22 +433,30 @@ func RunFleetScenario(cfg FleetConfig, sc FleetScenario) (*FleetResult, error) {
 	return &FleetResult{Row: row, Plan: plan, Report: rep}, nil
 }
 
-// ExtFleetScenarios is the policy matrix: both placements under both
-// sequencers, then the faulted run on the strongest pair.
-func ExtFleetScenarios() []FleetScenario {
+// ExtFleetScenarios is the directive × policy matrix: both placements
+// under both sequencers, the faulted run on the strongest pair, then the
+// extension directives — a rolling drain of dc0 (capped jobs-in-flight)
+// and a bidirectional evacuation through a 300 s site outage.
+func ExtFleetScenarios(drainCap int) []FleetScenario {
+	if drainCap <= 0 {
+		drainCap = 2
+	}
 	return []FleetScenario{
 		{Placement: fleet.PlaceGreedy, Seq: fleet.SeqPolicy{}},
 		{Placement: fleet.PlaceSwap, Seq: fleet.SeqPolicy{}},
 		{Placement: fleet.PlaceGreedy, Seq: fleet.SeqPolicy{Batched: true, Cap: 4}},
 		{Placement: fleet.PlaceSwap, Seq: fleet.SeqPolicy{Batched: true, Cap: 4}},
 		{Placement: fleet.PlaceSwap, Seq: fleet.SeqPolicy{Batched: true, Cap: 4}, Faulted: true},
+		{Kind: fleet.RollingMaintenance, Placement: fleet.PlaceSwap, MaxInFlight: drainCap},
+		{Placement: fleet.PlaceSwap, Seq: fleet.SeqPolicy{Batched: true, Cap: 4}, ReturnHome: true},
 	}
 }
 
-// ExtFleetMatrix runs the full fleet policy × fault matrix.
+// ExtFleetMatrix runs the full fleet directive × policy × fault matrix.
 func ExtFleetMatrix(cfg FleetConfig) ([]FleetRow, error) {
+	cfg = cfg.withDefaults()
 	var rows []FleetRow
-	for _, sc := range ExtFleetScenarios() {
+	for _, sc := range ExtFleetScenarios(cfg.DrainCap) {
 		res, err := RunFleetScenario(cfg, sc)
 		if err != nil {
 			return rows, err
@@ -376,7 +470,7 @@ func ExtFleetMatrix(cfg FleetConfig) ([]FleetRow, error) {
 func ExtFleetRender(rows []FleetRow) *metrics.Table {
 	t := metrics.NewTable("Ext. — fleet evacuation: placement × sequencing matrix",
 		"policy", "jobs", "batches", "score", "ib-jobs-on-ib",
-		"predicted [s]", "makespan [s]", "downtime [s]", "deadline", "replans", "outcomes")
+		"predicted [s]", "makespan [s]", "downtime [s]", "deadline", "replans", "requeues", "outcomes")
 	for _, r := range rows {
 		deadline := "hit"
 		if !r.Deadline {
@@ -384,7 +478,7 @@ func ExtFleetRender(rows []FleetRow) *metrics.Table {
 		}
 		t.AddRow(r.Scenario, r.Jobs, r.Batches, r.Score,
 			fmt.Sprintf("%d/%d", r.IBJobsOnIB, r.IBJobs),
-			r.Predicted, r.Makespan, r.Downtime, deadline, r.Replans, r.Outcomes)
+			r.Predicted, r.Makespan, r.Downtime, deadline, r.Replans, r.Requeues, r.Outcomes)
 	}
 	return t
 }

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/hw"
 	"repro/internal/metrics"
@@ -11,7 +12,8 @@ import (
 
 // Options tune an Executor.
 type Options struct {
-	// Topo and Placement drive replanning; Replan enables it. A pending
+	// Topo and Placement drive replanning, rollback re-queueing and
+	// rolling drains; Replan enables pre-batch replanning. A pending
 	// migration whose destination node crashed before its batch started
 	// is re-placed against the remaining capacity (crashes that strike
 	// mid-flight are the orchestrator's business: ninja.RetryPolicy plus
@@ -23,13 +25,25 @@ type Options struct {
 	Mode ninja.Mode
 	// Model re-prices replanned migrations (zero value → defaults).
 	Model CostModel
+	// AttemptBudget bounds how many times one job may run within a leg,
+	// counting the first try (default 3). A job whose attempt rolled back
+	// in place is re-queued into a fresh batch until the budget is spent;
+	// 1 restores the old end-the-attempt-on-rollback behavior.
+	AttemptBudget int
+}
+
+func (o Options) attemptBudget() int {
+	if o.AttemptBudget > 0 {
+		return o.AttemptBudget
+	}
+	return 3
 }
 
 // JobOutcome is one job's result within a fleet directive.
 type JobOutcome struct {
 	Job  *Job
 	Dsts []*hw.Node
-	// Batch is the index of the batch the job ran in.
+	// Batch is the index of the batch the job ran in (within its leg).
 	Batch             int
 	Report            ninja.Report
 	Err               error
@@ -37,10 +51,30 @@ type JobOutcome struct {
 	// Replanned marks a job whose destinations were reassigned by the
 	// fleet before its migration started.
 	Replanned bool
+	// Attempts counts executor-level attempts within the leg (1 = first
+	// try; >1 means rollback-in-place re-queues happened). The outcome
+	// recorded is the final attempt's.
+	Attempts int
+	// Leg labels the directive leg the outcome belongs to: "" for the
+	// primary leg, "return" for the evacuate-and-return-home leg,
+	// "drain:<node>" for a rolling-maintenance mini-plan.
+	Leg string
 	// Outcome is the fleet-level classification: the orchestrator's
 	// outcome, upgraded to retried-ok when the only recovery was a
 	// fleet-level replan of a clean run.
 	Outcome ninja.Outcome
+}
+
+// DrainRecord summarizes one rolling-maintenance mini-plan.
+type DrainRecord struct {
+	// Node is the drained node's name.
+	Node string
+	// Jobs is how many jobs had to leave the node; Batches how many
+	// batches the mini-plan used; MaxInFlight the largest batch — the
+	// observed jobs-in-flight concurrency.
+	Jobs, Batches, MaxInFlight int
+	// Left counts VMs still on the node after the drain (0 on success).
+	Left int
 }
 
 // Report summarizes a completed directive.
@@ -51,16 +85,22 @@ type Report struct {
 	Started, Finished sim.Time
 	Makespan          sim.Time
 	// Downtime aggregates trigger-to-resume (ninja Report.Total) over
-	// every job — the fleet's total service interruption.
+	// every job attempt — the fleet's total service interruption.
 	Downtime sim.Time
 	// DeadlineMet is true when the directive had no deadline or finished
 	// in time.
 	DeadlineMet bool
 	// Replans counts fleet-level destination reassignments.
 	Replans int
-	Jobs    []JobOutcome
-	// Events is the fleet-level trail (batch launches, replans, deadline
-	// verdict); per-job trails ride in each JobOutcome.Report.
+	// Requeues counts rolled-back-in-place jobs put into fresh batches
+	// for another attempt.
+	Requeues int
+	Jobs     []JobOutcome
+	// Drains records each rolling-maintenance mini-plan, in drain order.
+	Drains []DrainRecord
+	// Events is the fleet-level trail (batch launches, replans, requeues,
+	// drains, deadline verdict); per-job trails ride in each
+	// JobOutcome.Report.
 	Events []metrics.Event
 }
 
@@ -76,23 +116,41 @@ func (r Report) Failed() []JobOutcome {
 	return out
 }
 
-// OutcomeCounts renders "6 clean, 2 retried-ok"-style tallies in a fixed
-// outcome order.
+// OutcomeCounts renders "6 clean, 2 retried-ok"-style tallies: the known
+// outcomes in a fixed order first, then any outcome outside that list
+// (a hard-failed job may carry an unset or unrecognized Outcome),
+// name-sorted — so the tallies always sum to len(Jobs).
 func (r Report) OutcomeCounts() string {
 	counts := map[ninja.Outcome]int{}
 	for _, jo := range r.Jobs {
 		counts[jo.Outcome]++
 	}
 	out := ""
+	add := func(o ninja.Outcome) {
+		if out != "" {
+			out += ", "
+		}
+		label := string(o)
+		if label == "" {
+			label = "unknown"
+		}
+		out += fmt.Sprintf("%d %s", counts[o], label)
+	}
 	for _, o := range []ninja.Outcome{ninja.OutcomeClean, ninja.OutcomeRetriedOK,
 		ninja.OutcomeDegradedTCP, ninja.OutcomeRolledBack} {
 		if counts[o] == 0 {
 			continue
 		}
-		if out != "" {
-			out += ", "
-		}
-		out += fmt.Sprintf("%d %s", counts[o], o)
+		add(o)
+		delete(counts, o)
+	}
+	rest := make([]string, 0, len(counts))
+	for o := range counts {
+		rest = append(rest, string(o))
+	}
+	sort.Strings(rest)
+	for _, o := range rest {
+		add(ninja.Outcome(o))
 	}
 	if out == "" {
 		out = "none"
@@ -102,7 +160,9 @@ func (r Report) OutcomeCounts() string {
 
 // Executor runs a fleet plan: batches execute in order, the gang
 // migrations inside a batch run concurrently, each under its own
-// ninja.Orchestrator on the shared DES kernel.
+// ninja.Orchestrator on the shared DES kernel. RollingMaintenance
+// directives are executed incrementally — one placed-and-sequenced
+// mini-plan per drained node.
 type Executor struct {
 	k      *sim.Kernel
 	plan   *Plan
@@ -125,6 +185,12 @@ func (e *Executor) Start() (*sim.Future[Report], error) {
 	if e.begun {
 		return nil, fmt.Errorf("fleet: executor already started")
 	}
+	if e.plan.Dir.Kind == RollingMaintenance && e.opts.Topo == nil {
+		return nil, fmt.Errorf("fleet: rolling maintenance requires Options.Topo")
+	}
+	if e.plan.Dir.ReturnHome && e.opts.Topo == nil {
+		return nil, fmt.Errorf("fleet: ReturnHome requires Options.Topo")
+	}
 	e.begun = true
 	fut := sim.NewFuture[Report](e.k)
 	e.k.Go("fleet-executor", func(p *sim.Proc) {
@@ -133,12 +199,74 @@ func (e *Executor) Start() (*sim.Future[Report], error) {
 	return fut, nil
 }
 
+// fleetJobs returns every job under the directive: the planner records
+// them on the plan; hand-built plans fall back to the sequenced jobs.
+func (e *Executor) fleetJobs() []*Job {
+	if len(e.plan.Jobs) > 0 {
+		return e.plan.Jobs
+	}
+	seen := map[*Job]bool{}
+	var out []*Job
+	for _, b := range e.plan.Seq.Batches {
+		for _, m := range b {
+			if !seen[m.Job] {
+				seen[m.Job] = true
+				out = append(out, m.Job)
+			}
+		}
+	}
+	return out
+}
+
 func (e *Executor) run(p *sim.Proc) Report {
 	rep := Report{Dir: e.plan.Dir, Started: p.Now()}
-	batches := e.plan.Seq.Batches
-	for bi, batch := range batches {
-		if e.opts.Replan {
-			rep.Replans += e.replanBatch(batches, bi)
+	if e.plan.Dir.Kind == RollingMaintenance {
+		e.runRolling(p, &rep)
+	} else {
+		// ReturnHome needs the pre-evacuation placement — record it
+		// before the first batch moves anything.
+		var homes map[*Job][]*hw.Node
+		if e.plan.Dir.Kind == Evacuate && e.plan.Dir.ReturnHome {
+			homes = make(map[*Job][]*hw.Node)
+			for _, j := range e.fleetJobs() {
+				var ns []*hw.Node
+				for _, vm := range j.VMs() {
+					ns = append(ns, vm.Node())
+				}
+				homes[j] = ns
+			}
+		}
+		e.runBatches(p, &rep, e.plan.Seq.Batches, e.plan.Dir, "", true, e.plan.SeqPol)
+		if homes != nil {
+			e.runReturnHome(p, &rep, homes)
+		}
+	}
+	rep.Finished = p.Now()
+	rep.Makespan = rep.Finished - rep.Started
+	rep.DeadlineMet = e.plan.Dir.Deadline == 0 || rep.Finished <= e.plan.Dir.Deadline
+	if !rep.DeadlineMet {
+		e.events.Record(metrics.EventDeadlineMiss, "fleet", "",
+			fmt.Sprintf("finished %.1fs after the deadline", (rep.Finished-e.plan.Dir.Deadline).Seconds()))
+	}
+	rep.Events = append([]metrics.Event(nil), e.events.Events()...)
+	return rep
+}
+
+// runBatches executes one leg's batches in order. A job whose attempt
+// ended in a rollback-in-place is re-queued into a fresh batch (re-placed
+// against current occupancy when replace is true; retrying its original
+// destinations when false, as on the return-home leg where home is home)
+// until the per-job attempt budget is spent — a drain or evacuation is
+// only correct when every job eventually leaves. dir is the directive the
+// leg operates under (rolling drains pass per-node sub-directives); pol
+// sequences re-queued batches.
+func (e *Executor) runBatches(p *sim.Proc, rep *Report, batches [][]*Migration, dir Directive, leg string, replace bool, pol SeqPolicy) {
+	slot := map[*Job]int{} // job → index into rep.Jobs, within this leg
+	attempts := map[*Job]int{}
+	for bi := 0; bi < len(batches); bi++ {
+		batch := batches[bi]
+		if e.opts.Replan && replace {
+			rep.Replans += e.replanBatch(batches, bi, dir)
 		}
 		e.events.Record(metrics.EventBatch, "fleet", fmt.Sprintf("batch %d/%d", bi+1, len(batches)),
 			fmt.Sprintf("%d concurrent gang migrations", len(batch)))
@@ -153,20 +281,169 @@ func (e *Executor) run(p *sim.Proc) Report {
 			})
 		}
 		wg.Wait(p)
-		rep.Jobs = append(rep.Jobs, outs...)
+		var requeue []Assignment
+		for _, out := range outs {
+			attempts[out.Job]++
+			out.Attempts = attempts[out.Job]
+			out.Leg = leg
+			rep.Downtime += out.Report.Total
+			if idx, ok := slot[out.Job]; ok {
+				rep.Jobs[idx] = out
+			} else {
+				slot[out.Job] = len(rep.Jobs)
+				rep.Jobs = append(rep.Jobs, out)
+			}
+			if out.Outcome != ninja.OutcomeRolledBack {
+				continue
+			}
+			if attempts[out.Job] >= e.opts.attemptBudget() {
+				e.events.Record(metrics.EventRequeue, "fleet", out.Job.Name,
+					fmt.Sprintf("rolled back in place; attempt budget (%d) spent, job stays at the source",
+						e.opts.attemptBudget()))
+				continue
+			}
+			if e.opts.Topo == nil {
+				continue // nothing to re-price against: keep the old end-the-attempt behavior
+			}
+			dsts := out.Dsts
+			if replace {
+				if a, err := PlaceOne(out.Job, e.opts.Topo, dir, e.opts.Placement,
+					e.takenSlots(batches, bi+1, nil)); err == nil {
+					dsts = a.Dsts
+				}
+			}
+			rep.Requeues++
+			e.events.Record(metrics.EventRequeue, "fleet", out.Job.Name,
+				fmt.Sprintf("rolled back in place; re-queued (attempt %d/%d) -> %s",
+					attempts[out.Job]+1, e.opts.attemptBudget(), nodeNames(dsts)))
+			requeue = append(requeue, Assignment{Job: out.Job, Dsts: dsts})
+		}
+		if len(requeue) > 0 {
+			seq := e.opts.Topo.PlanMini(requeue, e.opts.Model, pol)
+			for _, b := range seq.Batches {
+				// A re-queued success is a fleet-level recovery, not a
+				// clean run.
+				for _, m := range b {
+					m.replanned = true
+				}
+				batches = append(batches, b)
+			}
+		}
 	}
-	rep.Finished = p.Now()
-	rep.Makespan = rep.Finished - rep.Started
-	for _, jo := range rep.Jobs {
-		rep.Downtime += jo.Report.Total
+}
+
+// runRolling drains the source site one node at a time: re-place only the
+// jobs touching the drained node against the fleet's current occupancy
+// (candidates exclude the node under maintenance), run that mini-plan
+// with at most MaxInFlight jobs migrating concurrently, record the drain,
+// and proceed to the next node. Rolled-back jobs are re-queued by
+// runBatches — a drain only counts as complete when the node is empty.
+func (e *Executor) runRolling(p *sim.Proc, rep *Report) {
+	dir := e.plan.Dir
+	pol := e.plan.SeqPol
+	if dir.MaxInFlight > 0 {
+		pol = SeqPolicy{Batched: true, Cap: dir.MaxInFlight}
 	}
-	rep.DeadlineMet = e.plan.Dir.Deadline == 0 || rep.Finished <= e.plan.Dir.Deadline
-	if !rep.DeadlineMet {
-		e.events.Record(metrics.EventDeadlineMiss, "fleet", "",
-			fmt.Sprintf("finished %.1fs after the deadline", (rep.Finished-e.plan.Dir.Deadline).Seconds()))
+	for _, nd := range dir.Source.Nodes {
+		var affected []*Job
+		for _, j := range e.fleetJobs() {
+			for _, vm := range j.VMs() {
+				if vm.Node() == nd {
+					affected = append(affected, j)
+					break
+				}
+			}
+		}
+		if len(affected) == 0 {
+			e.events.Record(metrics.EventDrain, "fleet", nd.Name, "already empty; maintained")
+			rep.Drains = append(rep.Drains, DrainRecord{Node: nd.Name})
+			continue
+		}
+		sub := dir
+		sub.Drain = nd
+		asgs, err := PlaceWith(affected, e.opts.Topo, sub, e.opts.Placement, e.takenSlots(nil, 0, nil))
+		if err != nil {
+			e.events.Record(metrics.EventDrain, "fleet", nd.Name,
+				fmt.Sprintf("cannot drain %d job(s): %v", len(affected), err))
+			rep.Drains = append(rep.Drains, DrainRecord{
+				Node: nd.Name, Jobs: len(affected), Left: vmsOn(affected, nd),
+			})
+			continue
+		}
+		seq := e.opts.Topo.PlanMini(asgs, e.opts.Model, pol)
+		dr := DrainRecord{Node: nd.Name, Jobs: len(affected), Batches: len(seq.Batches)}
+		for _, b := range seq.Batches {
+			if len(b) > dr.MaxInFlight {
+				dr.MaxInFlight = len(b)
+			}
+		}
+		e.events.Record(metrics.EventDrain, "fleet", nd.Name,
+			fmt.Sprintf("draining %d job(s) in %d batch(es)", len(affected), len(seq.Batches)))
+		e.runBatches(p, rep, seq.Batches, sub, "drain:"+nd.Name, true, pol)
+		dr.Left = vmsOn(affected, nd)
+		if dr.Left == 0 {
+			e.events.Record(metrics.EventDrain, "fleet", nd.Name, "drained; maintained")
+		} else {
+			e.events.Record(metrics.EventDrain, "fleet", nd.Name,
+				fmt.Sprintf("still hosts %d VM(s) after the drain", dr.Left))
+		}
+		rep.Drains = append(rep.Drains, dr)
 	}
-	rep.Events = append([]metrics.Event(nil), e.events.Events()...)
-	return rep
+}
+
+// runReturnHome is the second leg of a bidirectional Evacuate: poll the
+// faults clock until every source-site node is restored (bounded by
+// RestoreTimeout, if set), then migrate every job back to the exact nodes
+// it occupied when the directive started.
+func (e *Executor) runReturnHome(p *sim.Proc, rep *Report, homes map[*Job][]*hw.Node) {
+	dir := e.plan.Dir
+	poll := dir.RestorePoll
+	if poll <= 0 {
+		poll = 5 * sim.Second
+	}
+	waitStart := p.Now()
+	for {
+		healthy := true
+		for _, n := range dir.Source.Nodes {
+			if n.Failed() {
+				healthy = false
+				break
+			}
+		}
+		if healthy {
+			break
+		}
+		if dir.RestoreTimeout > 0 && p.Now()-waitStart >= dir.RestoreTimeout {
+			e.events.Record(metrics.EventReturnHome, "fleet", dir.Source.Name,
+				fmt.Sprintf("site not restored within %v; jobs stay evacuated", dir.RestoreTimeout))
+			return
+		}
+		p.Sleep(poll)
+	}
+	var asgs []Assignment
+	for _, j := range e.fleetJobs() {
+		home := homes[j]
+		if home == nil {
+			continue
+		}
+		away := false
+		for i, vm := range j.VMs() {
+			if vm.Node() != home[i] {
+				away = true
+			}
+		}
+		if away {
+			asgs = append(asgs, Assignment{Job: j, Dsts: home})
+		}
+	}
+	e.events.Record(metrics.EventReturnHome, "fleet", dir.Source.Name,
+		fmt.Sprintf("site restored after %.1fs; migrating %d job(s) home",
+			(p.Now()-waitStart).Seconds(), len(asgs)))
+	if len(asgs) == 0 {
+		return
+	}
+	seq := e.opts.Topo.PlanMini(asgs, e.opts.Model, e.plan.SeqPol)
+	e.runBatches(p, rep, seq.Batches, dir, "return", false, e.plan.SeqPol)
 }
 
 // runJob executes one gang migration. IB-capable jobs re-attach their
@@ -191,11 +468,14 @@ func (e *Executor) runJob(p *sim.Proc, mig *Migration, batch int) JobOutcome {
 	return out
 }
 
-// replanBatch re-places the pending migrations of batches[from:] whose
-// destinations include a crashed node. Slots already consumed — every
-// fleet VM's current node and every other pending destination — are
-// excluded, so a replan cannot overload a survivor.
-func (e *Executor) replanBatch(batches [][]*Migration, from int) int {
+// replanBatch re-places the pending migrations of batches[from] whose
+// destinations include a crashed node. The contract is per-batch at
+// launch: only the batch about to start is scanned, so a crash striking a
+// batch further ahead is not acted on now — it is caught by this same
+// check the moment that batch launches, since no batch starts without a
+// final look at its destinations. Slots already consumed are excluded
+// (see takenSlots), so a replan cannot overload a survivor.
+func (e *Executor) replanBatch(batches [][]*Migration, from int, dir Directive) int {
 	replans := 0
 	for _, mig := range batches[from] {
 		broken := false
@@ -207,8 +487,8 @@ func (e *Executor) replanBatch(batches [][]*Migration, from int) int {
 		if !broken {
 			continue
 		}
-		taken := e.takenSlots(batches, mig)
-		a, err := PlaceOne(mig.Job, e.opts.Topo, e.plan.Dir, e.opts.Placement, taken)
+		taken := e.takenSlots(batches, from, mig)
+		a, err := PlaceOne(mig.Job, e.opts.Topo, dir, e.opts.Placement, taken)
 		if err != nil {
 			// No capacity left: keep the plan and let the orchestrator's
 			// retry/spare machinery fight it out (or roll back in place).
@@ -225,16 +505,27 @@ func (e *Executor) replanBatch(batches [][]*Migration, from int) int {
 	return replans
 }
 
-// takenSlots counts destination slots unavailable to a replanned job:
-// nodes currently hosting any fleet VM and every other migration's
-// planned destinations.
-func (e *Executor) takenSlots(batches [][]*Migration, skip *Migration) map[*hw.Node]int {
+// takenSlots counts destination slots unavailable to a replanned or
+// re-queued job: every fleet VM's *current* node — a job whose batch
+// already ran sits at its destinations (or back at the source after a
+// rollback) and is counted exactly once, through the VM — plus the
+// planned destinations of still-pending migrations (batches[from:]),
+// minus skip's own. Counting planned destinations of already-run batches
+// would double-bill landed jobs' nodes and permanently bill rolled-back
+// jobs' never-occupied destinations; both overstate occupancy and caused
+// spurious ErrNoCapacity replans on multi-slot sites.
+func (e *Executor) takenSlots(batches [][]*Migration, from int, skip *Migration) map[*hw.Node]int {
 	taken := make(map[*hw.Node]int)
-	for _, b := range batches {
-		for _, m := range b {
-			for _, vm := range m.Job.VMs() {
-				taken[vm.Node()]++
-			}
+	for _, j := range e.fleetJobs() {
+		for _, vm := range j.VMs() {
+			taken[vm.Node()]++
+		}
+	}
+	if from < 0 {
+		from = 0
+	}
+	for bi := from; bi < len(batches); bi++ {
+		for _, m := range batches[bi] {
 			if m == skip {
 				continue
 			}
@@ -244,6 +535,19 @@ func (e *Executor) takenSlots(batches [][]*Migration, skip *Migration) map[*hw.N
 		}
 	}
 	return taken
+}
+
+// vmsOn counts the jobs' VMs currently hosted on the node.
+func vmsOn(jobs []*Job, nd *hw.Node) int {
+	n := 0
+	for _, j := range jobs {
+		for _, vm := range j.VMs() {
+			if vm.Node() == nd {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 func nodeNames(ns []*hw.Node) string {

@@ -1,0 +1,323 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/ninja"
+	"repro/internal/sim"
+	"repro/internal/vmm"
+)
+
+// newTestJobs boots one TCP-only fleet job per guests[] entry (that many
+// GB of guest RAM each), vmsPerJob VMs per job laid out one per srcNodes
+// slot in job-major order, and launches a long-running iterating app per
+// job so late migrations still find ranks to quiesce. TCP-only jobs on an
+// Ethernet pool need neither HCAs nor shared storage to live-migrate.
+func newTestJobs(t *testing.T, k *sim.Kernel, tb *hw.Testbed, srcNodes []*hw.Node,
+	guests []float64, vmsPerJob int) []*Job {
+	t.Helper()
+	var gangs [][]*vmm.VM
+	for j, gb := range guests {
+		var gang []*vmm.VM
+		for v := 0; v < vmsPerJob; v++ {
+			vm, err := vmm.New(k, srcNodes[j*vmsPerJob+v], tb.Segment, vmm.Config{
+				Name: fmt.Sprintf("j%02dv%02d", j, v), VCPUs: 2, MemoryBytes: gb * hw.GB,
+			}, vmm.DefaultParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			gang = append(gang, vm)
+		}
+		gangs = append(gangs, gang)
+	}
+	k.RunUntil(sim.Second)
+	pol := ninja.DefaultRetryPolicy()
+	var jobs []*Job
+	for j := range guests {
+		job, err := mpi.NewJob(k, mpi.Config{VMs: gangs[j], RanksPerVM: 1, ContinueLikeRestart: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := fmt.Sprintf("job%02d", j)
+		jobs = append(jobs, &Job{Name: name, Orch: ninja.New(job, ninja.Options{Retry: &pol})})
+		job.Launch(name, func(p *sim.Proc, rk *mpi.Rank) {
+			for i := 0; i < 3000; i++ {
+				rk.FTProbe(p)
+				rk.Compute(p, 0.2)
+			}
+		})
+	}
+	return jobs
+}
+
+// startAt triggers the executor at the absolute simulated time and runs
+// the kernel to completion.
+func startAt(t *testing.T, k *sim.Kernel, ex *Executor, at sim.Time) Report {
+	t.Helper()
+	var fut *sim.Future[Report]
+	k.Go("driver", func(p *sim.Proc) {
+		if at > p.Now() {
+			p.Sleep(at - p.Now())
+		}
+		f, err := ex.Start()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		fut = f
+	})
+	k.Run()
+	if fut == nil || !fut.Done() {
+		t.Fatal("directive did not complete")
+	}
+	return fut.Value()
+}
+
+// ethSpec is AGCNodeSpec without the IB HCA.
+func ethSpec() hw.NodeSpec {
+	s := hw.AGCNodeSpec
+	s.IBBandwidth = 0
+	return s
+}
+
+// A destination crash between two batches must not strand the later batch:
+// slots freed by the completed batch's *landed* jobs are counted through
+// the VMs' current nodes, not double-billed via their stale planned
+// destinations. Regression test for the takenSlots double-count that made
+// multi-slot replans fail with ErrNoCapacity.
+func TestReplanAfterCompletedBatchMultiSlot(t *testing.T) {
+	k := sim.NewKernel()
+	tb := hw.NewTestbed(k)
+	src := tb.AddCluster("src", 4, ethSpec())
+	dstA := tb.AddCluster("dsta", 1, ethSpec())
+	dstB := tb.AddCluster("dstb", 1, ethSpec())
+	jobs := newTestJobs(t, k, tb, src.Nodes, []float64{4, 4}, 2)
+	n0, n1 := dstA.Nodes[0], dstB.Nodes[0]
+	topo := NewTopology(
+		&Site{Name: "src", Nodes: src.Nodes},
+		&Site{Name: "a", Nodes: dstA.Nodes, SlotsPerNode: 4},
+		&Site{Name: "b", Nodes: dstB.Nodes, SlotsPerNode: 2},
+	)
+	plan := &Plan{
+		Dir: Directive{Kind: Evacuate, Source: topo.Sites[0]},
+		Seq: Sequence{Batches: [][]*Migration{
+			{{Job: jobs[0], Dsts: []*hw.Node{n0, n0}}},
+			{{Job: jobs[1], Dsts: []*hw.Node{n1, n1}}},
+		}},
+		Jobs: jobs,
+	}
+	ex := NewExecutor(k, plan, Options{Topo: topo, Placement: PlaceGreedy, Replan: true})
+	// n1 dies before the directive even starts: batch 1 (job0 → n0×2) runs
+	// untouched, then batch 2's launch check must re-place job1. n0 has 4
+	// slots of which job0 holds exactly 2 — the replan must see 2 free.
+	k.Schedule(2*sim.Second, func() { n1.Fail() })
+	rep := startAt(t, k, ex, 5*sim.Second)
+
+	if rep.Replans != 1 {
+		t.Fatalf("replans = %d, want 1", rep.Replans)
+	}
+	for _, e := range rep.Events {
+		if e.Kind == metrics.EventReplan && strings.Contains(e.Detail, "no capacity") {
+			t.Fatalf("replan hit spurious capacity exhaustion: %s", e)
+		}
+	}
+	for _, vm := range jobs[1].VMs() {
+		if vm.Node() != n0 {
+			t.Fatalf("job01 VM %s on %s, want %s", vm.Name(), vm.Node().Name, n0.Name)
+		}
+	}
+	if failed := rep.Failed(); len(failed) > 0 {
+		t.Fatalf("job %s failed: %v", failed[0].Job.Name, failed[0].Err)
+	}
+}
+
+// The replanning contract is per-batch at launch: a node that crashes
+// while batch 0 is in flight — two batches before its victim — is still
+// caught, because no batch starts without a final look at its
+// destinations.
+func TestReplanCatchesCrashTwoBatchesAhead(t *testing.T) {
+	k := sim.NewKernel()
+	tb := hw.NewTestbed(k)
+	src := tb.AddCluster("src", 3, ethSpec())
+	dst := tb.AddCluster("dst", 4, ethSpec())
+	jobs := newTestJobs(t, k, tb, src.Nodes, []float64{4, 4, 4}, 1)
+	nA, nB, nC, nD := dst.Nodes[0], dst.Nodes[1], dst.Nodes[2], dst.Nodes[3]
+	topo := NewTopology(
+		&Site{Name: "src", Nodes: src.Nodes},
+		&Site{Name: "dst", Nodes: dst.Nodes},
+	)
+	plan := &Plan{
+		Dir: Directive{Kind: Evacuate, Source: topo.Sites[0]},
+		Seq: Sequence{Batches: [][]*Migration{
+			{{Job: jobs[0], Dsts: []*hw.Node{nA}}},
+			{{Job: jobs[1], Dsts: []*hw.Node{nB}}},
+			{{Job: jobs[2], Dsts: []*hw.Node{nC}}},
+		}},
+		Jobs: jobs,
+	}
+	ex := NewExecutor(k, plan, Options{Topo: topo, Placement: PlaceGreedy, Replan: true})
+	// Crash batch 3's destination one second after batch 1 launches.
+	k.Schedule(5*sim.Second, func() { nC.Fail() })
+	rep := startAt(t, k, ex, 5*sim.Second)
+
+	if rep.Replans != 1 {
+		t.Fatalf("replans = %d, want 1", rep.Replans)
+	}
+	if got := jobs[2].VMs()[0].Node(); got != nD {
+		t.Fatalf("job02 on %s, want the spare %s", got.Name, nD.Name)
+	}
+	if failed := rep.Failed(); len(failed) > 0 {
+		t.Fatalf("job %s failed: %v", failed[0].Job.Name, failed[0].Err)
+	}
+}
+
+// A job whose migration rolls back in place is re-queued into a fresh
+// batch instead of ending the directive attempt; once the injected fault
+// budget is spent, the re-queued attempt lands and the outcome upgrades
+// to retried-ok.
+func TestRollbackRequeueConverges(t *testing.T) {
+	k := sim.NewKernel()
+	tb := hw.NewTestbed(k)
+	src := tb.AddCluster("src", 2, ethSpec())
+	dst := tb.AddCluster("dst", 2, ethSpec())
+	jobs := newTestJobs(t, k, tb, src.Nodes, []float64{4}, 2)
+	nA, nB := dst.Nodes[0], dst.Nodes[1]
+	topo := NewTopology(
+		&Site{Name: "src", Nodes: src.Nodes},
+		&Site{Name: "dst", Nodes: dst.Nodes},
+	)
+	plan := &Plan{
+		Dir: Directive{Kind: Evacuate, Source: topo.Sites[0]},
+		Seq: Sequence{Batches: [][]*Migration{
+			{{Job: jobs[0], Dsts: []*hw.Node{nA, nB}}},
+		}},
+		Jobs: jobs,
+	}
+	ex := NewExecutor(k, plan, Options{Topo: topo, Placement: PlaceGreedy, Replan: true})
+	// Kill j00v00's migration at precopy pass 1 on every ninja attempt of
+	// the first executor try (Count = the retry budget): attempt 1 rolls
+	// back in place, the re-queued attempt migrates clean.
+	pol := ninja.DefaultRetryPolicy()
+	inj := faults.NewInjector(k, faults.Plan{
+		Name: "forced-rollback", Seed: 1,
+		Specs: []faults.Spec{{
+			Kind: faults.KindMigrateAbort, Target: "j00v00", Pass: 1, Count: pol.MaxAttempts,
+		}},
+	}, faults.Env{VMs: jobs[0].VMs()})
+	if err := inj.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	rep := startAt(t, k, ex, 5*sim.Second)
+
+	if rep.Requeues != 1 {
+		t.Fatalf("requeues = %d, want 1", rep.Requeues)
+	}
+	if len(rep.Jobs) != 1 {
+		t.Fatalf("%d job outcomes, want 1 (re-queued attempts overwrite)", len(rep.Jobs))
+	}
+	jo := rep.Jobs[0]
+	if jo.Outcome != ninja.OutcomeRetriedOK || jo.Attempts != 2 {
+		t.Fatalf("job00 ended %s after %d attempt(s), want retried-ok after 2", jo.Outcome, jo.Attempts)
+	}
+	requeued := 0
+	for _, e := range rep.Events {
+		if e.Kind == metrics.EventRequeue {
+			requeued++
+		}
+	}
+	if requeued != 1 {
+		t.Fatalf("%d requeue events, want 1", requeued)
+	}
+	for _, vm := range jobs[0].VMs() {
+		if vm.Node() != nA && vm.Node() != nB {
+			t.Fatalf("VM %s still on %s after the re-queued attempt", vm.Name(), vm.Node().Name)
+		}
+	}
+	if failed := rep.Failed(); len(failed) > 0 {
+		t.Fatalf("job %s failed: %v", failed[0].Job.Name, failed[0].Err)
+	}
+}
+
+// Re-queueing is bounded: when every attempt rolls back, the executor
+// stops at the attempt budget and leaves the job healthy at the source.
+func TestRequeueRespectsAttemptBudget(t *testing.T) {
+	k := sim.NewKernel()
+	tb := hw.NewTestbed(k)
+	src := tb.AddCluster("src", 2, ethSpec())
+	dst := tb.AddCluster("dst", 2, ethSpec())
+	jobs := newTestJobs(t, k, tb, src.Nodes, []float64{4}, 2)
+	topo := NewTopology(
+		&Site{Name: "src", Nodes: src.Nodes},
+		&Site{Name: "dst", Nodes: dst.Nodes},
+	)
+	plan := &Plan{
+		Dir: Directive{Kind: Evacuate, Source: topo.Sites[0]},
+		Seq: Sequence{Batches: [][]*Migration{
+			{{Job: jobs[0], Dsts: []*hw.Node{dst.Nodes[0], dst.Nodes[1]}}},
+		}},
+		Jobs: jobs,
+	}
+	const budget = 3
+	ex := NewExecutor(k, plan, Options{
+		Topo: topo, Placement: PlaceGreedy, Replan: true, AttemptBudget: budget,
+	})
+	// Enough fault budget to kill every ninja attempt of every executor
+	// attempt: the job can never leave.
+	pol := ninja.DefaultRetryPolicy()
+	inj := faults.NewInjector(k, faults.Plan{
+		Name: "hopeless-rollback", Seed: 1,
+		Specs: []faults.Spec{{
+			Kind: faults.KindMigrateAbort, Target: "j00v00", Pass: 1, Count: budget * pol.MaxAttempts,
+		}},
+	}, faults.Env{VMs: jobs[0].VMs()})
+	if err := inj.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	rep := startAt(t, k, ex, 5*sim.Second)
+
+	if rep.Requeues != budget-1 {
+		t.Fatalf("requeues = %d, want %d", rep.Requeues, budget-1)
+	}
+	jo := rep.Jobs[0]
+	if jo.Outcome != ninja.OutcomeRolledBack || jo.Attempts != budget {
+		t.Fatalf("job00 ended %s after %d attempt(s), want rolled-back after %d",
+			jo.Outcome, jo.Attempts, budget)
+	}
+	// Rollback-in-place resumes the job wherever each VM currently sits:
+	// the aborted VM never leaves its source (its gang peer may have
+	// landed before the abort — that is the orchestrator's documented
+	// split-placement rollback, not the executor's business).
+	if got := jobs[0].VMs()[0].Node(); got != src.Nodes[0] {
+		t.Fatalf("aborted VM j00v00 on %s, want its source %s", got.Name, src.Nodes[0].Name)
+	}
+	// A rollback-in-place leaves the job healthy: not a failure.
+	if failed := rep.Failed(); len(failed) > 0 {
+		t.Fatalf("rolled-back job reported as failed: %v", failed[0].Err)
+	}
+}
+
+// OutcomeCounts must account for every job, including outcomes outside
+// its fixed list — unknown outcomes are appended name-sorted, the empty
+// outcome renders as "unknown".
+func TestOutcomeCountsKeepsUnknownOutcomes(t *testing.T) {
+	rep := Report{Jobs: []JobOutcome{
+		{Outcome: ninja.OutcomeClean},
+		{Outcome: ninja.OutcomeClean},
+		{Outcome: ninja.Outcome("exploded")},
+		{Outcome: ninja.Outcome("")},
+	}}
+	got := rep.OutcomeCounts()
+	want := "2 clean, 1 unknown, 1 exploded"
+	if got != want {
+		t.Fatalf("OutcomeCounts() = %q, want %q", got, want)
+	}
+	if empty := (Report{}).OutcomeCounts(); empty != "none" {
+		t.Fatalf("empty report renders %q", empty)
+	}
+}

@@ -59,6 +59,14 @@ const (
 	// Consolidate packs every job onto the first MaxNodes healthy nodes
 	// of the source site (server consolidation, §II-A).
 	Consolidate
+	// RollingMaintenance drains the source site one node at a time
+	// (hardware maintenance, §II-A): the executor re-places only the jobs
+	// touching the node under maintenance, runs that mini-plan under the
+	// MaxInFlight cap, marks the node maintained, and proceeds to the
+	// next. Candidates are every healthy node except the drained one, so
+	// jobs shuffle within the site when it has room and spill to other
+	// sites when it does not.
+	RollingMaintenance
 )
 
 // String returns the directive label.
@@ -68,6 +76,8 @@ func (d DirectiveKind) String() string {
 		return "evacuate"
 	case Consolidate:
 		return "consolidate"
+	case RollingMaintenance:
+		return "rolling-maintenance"
 	default:
 		return fmt.Sprintf("DirectiveKind(%d)", int(d))
 	}
@@ -86,6 +96,25 @@ type Directive struct {
 	// MaxNodes bounds the consolidation target ("consolidate to K
 	// nodes"); ignored for Evacuate.
 	MaxNodes int
+	// MaxInFlight bounds the jobs migrating concurrently within one
+	// rolling-maintenance mini-plan (0 = the planner's sequencing policy
+	// applies unchanged). Ignored for other kinds.
+	MaxInFlight int
+	// Drain is the node currently under maintenance. The executor sets it
+	// per mini-plan while running a RollingMaintenance directive; callers
+	// leave it nil.
+	Drain *hw.Node
+	// ReturnHome (Evacuate only) makes the directive bidirectional: once
+	// the site is vacated, the executor waits for every source node to be
+	// restored on the faults clock and migrates every job back to the
+	// nodes it originally occupied.
+	ReturnHome bool
+	// RestorePoll is the interval at which the executor re-checks the
+	// source site while waiting for restore (default 5 s).
+	RestorePoll sim.Time
+	// RestoreTimeout bounds the restore wait (0 = wait indefinitely). On
+	// expiry the return leg is skipped and the jobs stay evacuated.
+	RestoreTimeout sim.Time
 }
 
 // Site is one data center (or cluster) the fleet spans.
@@ -145,10 +174,21 @@ func (t *Topology) LinkCaps() map[string]float64 {
 }
 
 // Plan is a fully sequenced fleet directive, ready for the executor.
+// RollingMaintenance plans carry no up-front assignments or sequence:
+// each node's mini-plan is placed and sequenced incrementally at drain
+// time, against wherever the previous drains left the fleet.
 type Plan struct {
 	Dir         Directive
 	Assignments []Assignment
 	Seq         Sequence
+	// Jobs is the full job list under the directive — the executor's
+	// occupancy ground truth for replanning, re-queueing and rolling
+	// drains.
+	Jobs []*Job
+	// SeqPol is the sequencing policy the plan was built with; the
+	// executor reuses it for re-queued batches, drain mini-plans and the
+	// return-home leg.
+	SeqPol SeqPolicy
 }
 
 // Planner turns directives into plans.
@@ -162,8 +202,17 @@ type Planner struct {
 	Model CostModel
 }
 
-// Plan places every job and sequences the resulting migrations.
+// Plan places every job and sequences the resulting migrations. A
+// RollingMaintenance directive returns a shell plan — placement and
+// sequencing happen per drained node at execution time, since each
+// mini-plan depends on where the previous drains moved the fleet.
 func (pl *Planner) Plan(dir Directive, jobs []*Job) (*Plan, error) {
+	if dir.Kind == RollingMaintenance {
+		if dir.Source == nil {
+			return nil, fmt.Errorf("fleet: rolling-maintenance directive without a source site")
+		}
+		return &Plan{Dir: dir, Jobs: jobs, SeqPol: pl.Seq}, nil
+	}
 	model := pl.Model.withDefaults()
 	asgs, err := Place(jobs, pl.Topo, dir, pl.Placement)
 	if err != nil {
@@ -177,5 +226,7 @@ func (pl *Planner) Plan(dir Directive, jobs []*Job) (*Plan, error) {
 		Dir:         dir,
 		Assignments: asgs,
 		Seq:         PlanSequence(migs, pl.Topo.LinkCaps(), pl.Seq),
+		Jobs:        jobs,
+		SeqPol:      pl.Seq,
 	}, nil
 }

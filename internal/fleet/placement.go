@@ -126,6 +126,23 @@ func candidates(topo *Topology, dir Directive) ([]*hw.Node, error) {
 				out = append(out, n)
 			}
 		}
+	case RollingMaintenance:
+		if dir.Source == nil {
+			return nil, errors.New("fleet: rolling-maintenance directive without a source site")
+		}
+		if dir.Drain == nil {
+			return nil, errors.New("fleet: rolling-maintenance placement without a node under drain")
+		}
+		// Every healthy node except the one under maintenance: drained
+		// jobs shuffle within the site while it has room (site order puts
+		// the source first) and spill to other sites when it does not.
+		for _, s := range topo.Sites {
+			for _, n := range s.Nodes {
+				if n != dir.Drain && !n.Failed() {
+					out = append(out, n)
+				}
+			}
+		}
 	default:
 		return nil, fmt.Errorf("fleet: unknown directive kind %v", dir.Kind)
 	}
@@ -187,7 +204,15 @@ func (t *tracker) release(n *hw.Node, vmBytes float64, self bool) {
 // processed in the given order; ties break on candidate order, so the
 // result is deterministic for a fixed input.
 func Place(jobs []*Job, topo *Topology, dir Directive, pol PlacementPolicy) ([]Assignment, error) {
-	tr, err := newTracker(topo, dir, nil)
+	return PlaceWith(jobs, topo, dir, pol, nil)
+}
+
+// PlaceWith is Place with `taken` destination slots already consumed —
+// the executor's incremental path: a rolling-maintenance mini-plan places
+// only the jobs touching the drained node, while every other fleet VM
+// keeps occupying its current slot.
+func PlaceWith(jobs []*Job, topo *Topology, dir Directive, pol PlacementPolicy, taken map[*hw.Node]int) ([]Assignment, error) {
+	tr, err := newTracker(topo, dir, taken)
 	if err != nil {
 		return nil, err
 	}
@@ -279,12 +304,13 @@ func refine(asgs []Assignment, tr *tracker) {
 			}
 		}
 		// Pairwise swap: exchange two jobs' destination sets when the
-		// sum of affinities goes up. Shapes must match, so the slot
-		// claims are identical either way (the planned-memory estimate
-		// tolerates the byte difference between comparable VM shapes).
+		// sum of affinities goes up AND the swapped claims still fit in
+		// memory. Shapes must match, so the per-node slot counts are
+		// identical either way, but different-sized jobs shift planned
+		// bytes between nodes and must re-pass the feasibility check.
 		for i := 0; i < len(asgs); i++ {
 			for j := i + 1; j < len(asgs); j++ {
-				if trySwap(&asgs[i], &asgs[j]) {
+				if trySwap(&asgs[i], &asgs[j], tr) {
 					improved = true
 				}
 			}
@@ -322,15 +348,77 @@ func relocate(a *Assignment, tr *tracker) bool {
 	return false
 }
 
-func trySwap(a, b *Assignment) bool {
+// trySwap exchanges two jobs' destination sets when that strictly raises
+// the summed affinity and the swapped memory claims remain feasible on
+// the tracker. Without the feasibility re-check, swapping a small job
+// with a large one could plan a node past MemoryBytes — the affinity
+// delta is size-blind.
+func trySwap(a, b *Assignment, tr *tracker) bool {
 	if len(a.Dsts) != len(b.Dsts) {
 		return false
 	}
 	before := a.Score() + b.Score()
 	a.Dsts, b.Dsts = b.Dsts, a.Dsts
-	if a.Score()+b.Score() > before {
+	if a.Score()+b.Score() > before && swapFits(a, b, tr) {
 		return true
 	}
 	a.Dsts, b.Dsts = b.Dsts, a.Dsts
+	return false
+}
+
+// swapFits re-validates both (already swapped) assignments' memory claims
+// against the tracker: release both jobs' current claims, then re-take
+// them one VM at a time under the fits() guard. Slot counts are untouched
+// by a swap (the combined node multiset is identical), so only memory can
+// refuse. On failure every partial take is rolled back and the original
+// claims are restored, leaving the tracker exactly as found.
+func swapFits(a, b *Assignment, tr *tracker) bool {
+	type claim struct {
+		n     *hw.Node
+		bytes float64
+		self  bool
+	}
+	release := func(asg *Assignment, dsts []*hw.Node) {
+		vms := asg.Job.VMs()
+		for i, n := range dsts {
+			tr.release(n, vms[i].Memory().TotalBytes(), vms[i].Node() == n)
+		}
+	}
+	// Both assignments are already swapped; their pre-swap claims are each
+	// other's destination lists.
+	release(a, b.Dsts)
+	release(b, a.Dsts)
+	var taken []claim
+	ok := true
+	for _, asg := range []*Assignment{a, b} {
+		vms := asg.Job.VMs()
+		for i, n := range asg.Dsts {
+			c := claim{n: n, bytes: vms[i].Memory().TotalBytes(), self: vms[i].Node() == n}
+			if !tr.fits(n, c.bytes, c.self) {
+				ok = false
+				break
+			}
+			tr.take(n, c.bytes, c.self)
+			taken = append(taken, c)
+		}
+		if !ok {
+			break
+		}
+	}
+	if ok {
+		return true
+	}
+	for _, c := range taken {
+		tr.release(c.n, c.bytes, c.self)
+	}
+	// Restore the pre-swap claims (the caller will swap Dsts back).
+	takeBack := func(asg *Assignment, dsts []*hw.Node) {
+		vms := asg.Job.VMs()
+		for i, n := range dsts {
+			tr.take(n, vms[i].Memory().TotalBytes(), vms[i].Node() == n)
+		}
+	}
+	takeBack(a, b.Dsts)
+	takeBack(b, a.Dsts)
 	return false
 }

@@ -1,0 +1,117 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// swapRig builds a two-job placement scenario where a destination swap
+// strictly improves affinity: jobA (IB-capable, bigGB guest) lands on the
+// big Ethernet node first-fit, jobB (TCP-only, 1 GB guest) on the small
+// IB node. Swapping raises the score 180 → 1124, but fits in the IB
+// node's 6 GB only when bigGB does.
+func swapRig(t *testing.T, bigGB float64) (a, b Assignment, tr *tracker, ethNode, ibNode *hw.Node) {
+	t.Helper()
+	k := sim.NewKernel()
+	tb := hw.NewTestbed(k)
+	smallIB := hw.AGCNodeSpec
+	smallIB.MemoryBytes = 6 * hw.GB
+	src := tb.AddCluster("src", 2, ethSpec())
+	big := tb.AddCluster("big", 1, ethSpec())
+	ib := tb.AddCluster("ib", 1, smallIB)
+	jobs := newTestJobs(t, k, tb, src.Nodes, []float64{bigGB, 1}, 1)
+	jobs[0].IBCapable = true
+	topo := NewTopology(
+		&Site{Name: "src", Nodes: src.Nodes},
+		&Site{Name: "big", Nodes: big.Nodes},
+		&Site{Name: "ib", Nodes: ib.Nodes},
+	)
+	tr, err := newTracker(topo, Directive{Kind: Evacuate, Source: topo.Sites[0]}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, err = placeFirstFit(jobs[0], tr); err != nil {
+		t.Fatal(err)
+	}
+	if b, err = placeFirstFit(jobs[1], tr); err != nil {
+		t.Fatal(err)
+	}
+	ethNode, ibNode = big.Nodes[0], ib.Nodes[0]
+	if a.Dsts[0] != ethNode || b.Dsts[0] != ibNode {
+		t.Fatalf("first-fit placed a=%s b=%s, want %s/%s",
+			a.Dsts[0].Name, b.Dsts[0].Name, ethNode.Name, ibNode.Name)
+	}
+	return a, b, tr, ethNode, ibNode
+}
+
+// The affinity delta is size-blind; the feasibility re-check is not: a
+// swap that would plan a 7 GB guest onto a 6 GB node must be refused with
+// the tracker left exactly as found, while the same swap with a fitting
+// guest must go through.
+func TestTrySwapRespectsMemory(t *testing.T) {
+	a, b, tr, ethNode, ibNode := swapRig(t, 7)
+	if trySwap(&a, &b, tr) {
+		t.Fatal("swap planned a 7 GB guest onto a 6 GB node")
+	}
+	if a.Dsts[0] != ethNode || b.Dsts[0] != ibNode {
+		t.Fatal("refused swap still exchanged the destination lists")
+	}
+	if tr.planned[ethNode] != 7*hw.GB || tr.planned[ibNode] != 1*hw.GB {
+		t.Fatalf("tracker disturbed by refused swap: planned big=%g ib=%g",
+			tr.planned[ethNode]/hw.GB, tr.planned[ibNode]/hw.GB)
+	}
+	if tr.free[ethNode] != 0 || tr.free[ibNode] != 0 {
+		t.Fatalf("tracker slots disturbed by refused swap: free big=%d ib=%d",
+			tr.free[ethNode], tr.free[ibNode])
+	}
+
+	a, b, tr, ethNode, ibNode = swapRig(t, 4)
+	if !trySwap(&a, &b, tr) {
+		t.Fatal("feasible affinity-improving swap refused")
+	}
+	if a.Dsts[0] != ibNode || b.Dsts[0] != ethNode {
+		t.Fatal("accepted swap did not exchange the destination lists")
+	}
+	if tr.planned[ibNode] != 4*hw.GB || tr.planned[ethNode] != 1*hw.GB {
+		t.Fatalf("tracker claims not moved by accepted swap: planned ib=%g big=%g",
+			tr.planned[ibNode]/hw.GB, tr.planned[ethNode]/hw.GB)
+	}
+}
+
+// PlaceSwap over the same rig must honour the guard end to end: the
+// refined plan never oversubscribes a node's memory.
+func TestPlaceSwapNeverOversubscribes(t *testing.T) {
+	k := sim.NewKernel()
+	tb := hw.NewTestbed(k)
+	smallIB := hw.AGCNodeSpec
+	smallIB.MemoryBytes = 6 * hw.GB
+	src := tb.AddCluster("src", 2, ethSpec())
+	big := tb.AddCluster("big", 1, ethSpec())
+	ib := tb.AddCluster("ib", 1, smallIB)
+	jobs := newTestJobs(t, k, tb, src.Nodes, []float64{7, 1}, 1)
+	jobs[0].IBCapable = true
+	topo := NewTopology(
+		&Site{Name: "src", Nodes: src.Nodes},
+		&Site{Name: "big", Nodes: big.Nodes},
+		&Site{Name: "ib", Nodes: ib.Nodes},
+	)
+	asgs, err := Place(jobs, topo, Directive{Kind: Evacuate, Source: topo.Sites[0]}, PlaceSwap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned := map[*hw.Node]float64{}
+	for _, a := range asgs {
+		vms := a.Job.VMs()
+		for i, n := range a.Dsts {
+			planned[n] += vms[i].Memory().TotalBytes()
+		}
+	}
+	for n, bytes := range planned {
+		if n.MemoryUsed()+bytes > n.MemoryBytes {
+			t.Fatalf("node %s oversubscribed: %g GB planned onto %g GB",
+				n.Name, bytes/hw.GB, n.MemoryBytes/hw.GB)
+		}
+	}
+}

@@ -263,6 +263,18 @@ func predict(batches [][]*Migration, caps map[string]float64, into int, m *Migra
 	return total
 }
 
+// PlanMini prices and sequences an incremental mini-plan over
+// already-placed assignments — the executor's building block for rolling
+// drains, re-queued batches and the return-home leg, where placement
+// happens against the fleet's *current* occupancy rather than up front.
+func (t *Topology) PlanMini(asgs []Assignment, m CostModel, pol SeqPolicy) Sequence {
+	migs := make([]*Migration, len(asgs))
+	for i, a := range asgs {
+		migs[i] = t.MigrationOf(a.Job, a.Dsts, m)
+	}
+	return PlanSequence(migs, t.LinkCaps(), pol)
+}
+
 // Migrations returns the sequence's migrations in execution order.
 func (s Sequence) Migrations() []*Migration {
 	var out []*Migration

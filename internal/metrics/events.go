@@ -37,6 +37,15 @@ const (
 	// destinations (e.g. a planned destination node crashed before the
 	// job's batch started).
 	EventReplan EventKind = "replanned"
+	// EventRequeue: the fleet executor put a rolled-back-in-place job into
+	// a fresh batch for another attempt (bounded by the attempt budget).
+	EventRequeue EventKind = "requeued"
+	// EventDrain: a rolling-maintenance drain started or finished on one
+	// node (the subject names the node).
+	EventDrain EventKind = "drain"
+	// EventReturnHome: an evacuate directive with ReturnHome observed the
+	// source site restore (or gave up waiting) and acted on it.
+	EventReturnHome EventKind = "return-home"
 	// EventDeadlineMiss: a fleet directive finished after its deadline.
 	EventDeadlineMiss EventKind = "deadline-miss"
 )

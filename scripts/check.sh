@@ -13,5 +13,7 @@ fi
 go build ./...
 go vet ./...
 go test -race ./...
-# Smoke the fleet control plane end to end (small fleet, ~1 s).
-go run ./cmd/ninjabench -run=ext-fleet -fleet-jobs=3 >/dev/null
+# Smoke the fleet control plane end to end (small fleet, ~1 s). The
+# matrix includes the rolling-maintenance drain and the bidirectional
+# return-home rows.
+go run ./cmd/ninjabench -run=ext-fleet -fleet-jobs=3 -fleet-drain-cap=2 >/dev/null
