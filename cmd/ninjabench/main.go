@@ -9,6 +9,8 @@
 //	ninjabench -run=fig8a,fig8b
 //	ninjabench -run=ext-fleet -fleet-jobs=4
 //	ninjabench -run=table2,ext-fleet -json results.json
+//	ninjabench -scale-jobs=128                      # kernel scale sweep, both backends
+//	ninjabench -run=ext-fleet -kernel=wheel -cpuprofile fleet.pprof
 package main
 
 import (
@@ -16,10 +18,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -28,18 +34,50 @@ func main() {
 	fleetJobs := flag.Int("fleet-jobs", 0, "fleet size for ext-fleet (0 = default 8-job evacuation)")
 	drainCap := flag.Int("fleet-drain-cap", 0, "jobs-in-flight cap per rolling-maintenance mini-plan (0 = default 2)")
 	jsonPath := flag.String("json", "", "also write the selected tables to this file as JSON")
+	kernel := flag.String("kernel", "", "kernel event-queue backend for ext-fleet: heap (default) or wheel")
+	scaleJobs := flag.Int("scale-jobs", 0, "run the synthetic fleet-scale kernel sweep up to this many jobs on both backends")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected runs to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the selected runs) to this file")
 	flag.Parse()
 
-	want := map[string]bool{}
-	if *run == "all" {
-		for _, id := range []string{"table1", "table2", "fig6", "fig7", "fig8a", "fig8b",
-			"ext-scalability", "ext-coldvslive", "ext-bypass", "ext-faults", "ext-fleet"} {
-			want[id] = true
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ninjabench: cpuprofile: %v\n", err)
+			os.Exit(1)
 		}
-	} else {
-		for _, id := range strings.Split(*run, ",") {
-			want[strings.TrimSpace(strings.ToLower(id))] = true
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ninjabench: cpuprofile: %v\n", err)
+			os.Exit(1)
 		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ninjabench: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ninjabench: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
+
+	var backend sim.Backend
+	switch *kernel {
+	case "", "heap":
+		backend = sim.BackendHeap
+	case "wheel":
+		backend = sim.BackendWheel
+	default:
+		fmt.Fprintf(os.Stderr, "ninjabench: unknown -kernel %q (want heap or wheel)\n", *kernel)
+		os.Exit(1)
 	}
 
 	fail := func(id string, err error) {
@@ -52,6 +90,35 @@ func main() {
 	emit := func(t *metrics.Table) {
 		tables = append(tables, t)
 		fmt.Println(t)
+	}
+
+	// -scale-jobs runs the kernel scale sweep on its own; combine with an
+	// explicit -run to also regenerate paper tables in the same (profiled)
+	// process.
+	runSet := *run != "all"
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "run" {
+			runSet = true
+		}
+	})
+
+	want := map[string]bool{}
+	switch {
+	case *run == "all" && *scaleJobs > 0 && !runSet:
+		// sweep only
+	case *run == "all":
+		for _, id := range []string{"table1", "table2", "fig6", "fig7", "fig8a", "fig8b",
+			"ext-scalability", "ext-coldvslive", "ext-bypass", "ext-faults", "ext-fleet"} {
+			want[id] = true
+		}
+	default:
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+
+	if *scaleJobs > 0 {
+		emit(scaleSweep(*scaleJobs, backend, *kernel != ""))
 	}
 
 	if want["table1"] {
@@ -130,7 +197,7 @@ func main() {
 		emit(experiments.ExtFaultMatrixRender(rows))
 	}
 	if want["ext-fleet"] {
-		rows, err := experiments.ExtFleetMatrix(experiments.FleetConfig{Jobs: *fleetJobs, DrainCap: *drainCap})
+		rows, err := experiments.ExtFleetMatrix(experiments.FleetConfig{Jobs: *fleetJobs, DrainCap: *drainCap, Backend: backend})
 		if err != nil {
 			fail("ext-fleet", err)
 		}
@@ -147,4 +214,34 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "ninjabench: wrote %d table(s) to %s\n", len(tables), *jsonPath)
 	}
+}
+
+// scaleSweep runs FleetScaleSim at doubling fleet sizes up to maxJobs and
+// tabulates wall-clock throughput. With no explicit -kernel it compares
+// both backends side by side; otherwise it sweeps only the selected one.
+func scaleSweep(maxJobs int, backend sim.Backend, only bool) *metrics.Table {
+	backends := []sim.Backend{sim.BackendHeap, sim.BackendWheel}
+	if only {
+		backends = []sim.Backend{backend}
+	}
+	t := metrics.NewTable("Kernel scale sweep (synthetic fleet, 200 iterations/job)",
+		"jobs", "backend", "events", "sim-end-s", "wall-ms", "events/sec")
+	for jobs := 8; ; jobs *= 2 {
+		if jobs > maxJobs {
+			jobs = maxJobs
+		}
+		for _, b := range backends {
+			start := time.Now()
+			res := experiments.FleetScaleSim(jobs, 0, b)
+			wall := time.Since(start)
+			t.AddRow(res.Jobs, string(res.Backend), res.Stats.Executed,
+				res.End,
+				fmt.Sprintf("%.1f", float64(wall.Microseconds())/1e3),
+				fmt.Sprintf("%.0f", float64(res.Stats.Executed)/wall.Seconds()))
+		}
+		if jobs == maxJobs {
+			break
+		}
+	}
+	return t
 }

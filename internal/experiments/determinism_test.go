@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestExtFleetDeterminism is the backend acceptance gate: the full 7-row
+// ext-fleet matrix (every directive × policy × fault combination) must
+// render byte-identical across the heap and timer-wheel kernel backends,
+// and across two consecutive runs on the same backend. Any divergence in
+// event ordering, PS completion order, or pooled-event reuse shows up here
+// as a table diff.
+func TestExtFleetDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run fleet matrix is not short")
+	}
+	render := func(b sim.Backend) string {
+		cfg := FleetConfig{Jobs: 3, DrainCap: 2, Backend: b}
+		rows, err := ExtFleetMatrix(cfg)
+		if err != nil {
+			t.Fatalf("%s matrix: %v", b, err)
+		}
+		if len(rows) != len(ExtFleetScenarios(cfg.DrainCap)) {
+			t.Fatalf("%s matrix: %d rows", b, len(rows))
+		}
+		return ExtFleetRender(rows).String()
+	}
+	heap1 := render(sim.BackendHeap)
+	heap2 := render(sim.BackendHeap)
+	if heap1 != heap2 {
+		t.Fatalf("heap backend not reproducible across runs:\n--- run 1:\n%s\n--- run 2:\n%s", heap1, heap2)
+	}
+	wheel1 := render(sim.BackendWheel)
+	wheel2 := render(sim.BackendWheel)
+	if wheel1 != wheel2 {
+		t.Fatalf("wheel backend not reproducible across runs:\n--- run 1:\n%s\n--- run 2:\n%s", wheel1, wheel2)
+	}
+	if heap1 != wheel1 {
+		t.Fatalf("backends disagree:\n--- heap:\n%s\n--- wheel:\n%s", heap1, wheel1)
+	}
+}

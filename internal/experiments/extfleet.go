@@ -51,6 +51,11 @@ type FleetConfig struct {
 	// DrainCap is the rolling-maintenance jobs-in-flight cap per
 	// mini-plan (default 2).
 	DrainCap int
+	// Backend selects the simulation kernel's event-queue backend (zero
+	// value = sim.BackendHeap). Observable results are backend-independent
+	// — the determinism acceptance test holds the matrix byte-identical
+	// across backends.
+	Backend sim.Backend
 }
 
 func (cfg FleetConfig) withDefaults() FleetConfig {
@@ -123,7 +128,7 @@ func DeployFleet(cfg FleetConfig) (*FleetDeployment, error) {
 	}
 	ethSpec := hw.AGCNodeSpec
 	ethSpec.IBBandwidth = 0
-	k := sim.NewKernel()
+	k := sim.NewKernelWith(sim.Options{Backend: cfg.Backend})
 	w := hw.NewWideArea(k, hw.WideAreaConfig{
 		Sites: []hw.SiteConfig{
 			{Nodes: nVMs, Spec: hw.AGCNodeSpec},               // dc0: IB source

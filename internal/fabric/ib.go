@@ -103,7 +103,7 @@ type HCA struct {
 	nextQPN QPN
 	qps     map[QPN]*QueuePair
 	active  *sim.Future[struct{}]
-	trainEv *sim.Event
+	trainEv sim.Event
 	// stall is extra Polling time consumed by the next PowerOn (fault
 	// injection: link training stuck beyond the normal 30 s window).
 	stall sim.Time
@@ -157,7 +157,7 @@ func (h *HCA) PowerOn() {
 	training := h.subnet.TrainingTime.SaturatingAdd(h.stall)
 	h.stall = 0
 	h.trainEv = h.k().Schedule(training, func() {
-		h.trainEv = nil
+		h.trainEv = sim.Event{}
 		h.state = PortActive
 		h.lid = h.subnet.nextLID
 		h.subnet.nextLID++
@@ -169,10 +169,8 @@ func (h *HCA) PowerOn() {
 // PowerOff transitions the port to Down, withdraws its LID, and destroys
 // every queue pair. Safe to call in any state.
 func (h *HCA) PowerOff() {
-	if h.trainEv != nil {
-		h.trainEv.Cancel()
-		h.trainEv = nil
-	}
+	h.trainEv.Cancel()
+	h.trainEv = sim.Event{}
 	if h.state == PortActive {
 		delete(h.subnet.byLID, h.lid)
 	}

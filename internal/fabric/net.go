@@ -51,7 +51,7 @@ type Network struct {
 	trunks     []*Trunk
 	flows      map[*Flow]struct{}
 	lastUpdate sim.Time
-	pending    *sim.Event
+	pending    sim.Event
 }
 
 // NewNetwork returns an empty network bound to k.
@@ -180,10 +180,8 @@ func (n *Network) replan() {
 		n.removeFlow(f)
 		f.done.Set(struct{}{})
 	}
-	if n.pending != nil {
-		n.pending.Cancel()
-		n.pending = nil
-	}
+	n.pending.Cancel()
+	n.pending = sim.Event{}
 	if len(n.flows) == 0 {
 		return
 	}
@@ -203,7 +201,7 @@ func (n *Network) replan() {
 		return // all flows stalled or absurdly slow; nothing to schedule
 	}
 	n.pending = n.k.Schedule(next, func() {
-		n.pending = nil
+		n.pending = sim.Event{}
 		n.sync()
 		n.replan()
 	})

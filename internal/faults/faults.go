@@ -127,11 +127,14 @@ func (s Spec) arg(def string) string {
 // String renders the spec in the plan-string syntax.
 func (s Spec) String() string {
 	out := string(s.Kind)
+	// Render times as exact Go durations: %g seconds would lose nanosecond
+	// precision and emit exponent forms ("1e+06s") that time.ParseDuration
+	// rejects, breaking the parse → String → parse roundtrip.
 	if s.At > 0 {
-		out += fmt.Sprintf("@%gs", s.At.Seconds())
+		out += "@" + time.Duration(s.At).String()
 	}
 	if s.For > 0 {
-		out += fmt.Sprintf("+%gs", s.For.Seconds())
+		out += "+" + time.Duration(s.For).String()
 	}
 	var opts []string
 	if s.Target != "" {
@@ -177,7 +180,15 @@ func (p Plan) String() string {
 	if len(parts) == 0 {
 		return "none"
 	}
-	return strings.Join(parts, ";")
+	out := strings.Join(parts, ";")
+	// A bare kind ("nfs-outage") collides with the builtin plan namespace
+	// and would be re-expanded to the builtin's defaults on reparse; a
+	// trailing separator keeps the rendered plan literal (empty items are
+	// skipped by ParsePlan).
+	if _, ok := Builtin[out]; ok {
+		out += ";"
+	}
+	return out
 }
 
 // Builtin maps plan names to their spec strings, for CLI use

@@ -1,0 +1,68 @@
+package faults
+
+import (
+	"testing"
+)
+
+// FuzzParsePlan hunts parser panics and canonicalization bugs with a
+// roundtrip oracle: any string ParsePlan accepts must render (String) to a
+// canonical form that reparses successfully and is a fixed point of
+// another parse → String pass. Rejected inputs just need to not panic.
+func FuzzParsePlan(f *testing.F) {
+	for _, raw := range Builtin {
+		f.Add(raw)
+	}
+	for _, name := range BuiltinNames() {
+		f.Add(name)
+	}
+	f.Add("seed=7;drop-event:event=DEVICE_DELETED")
+	f.Add("migrate-abort@60s:vm=vm00,pass=2")
+	f.Add("nfs-outage@300s+45s;node-crash@310s:node=agc-dst-00")
+	f.Add("ib-train-stall@1000000s") // %gs used to render this as 1e+06s
+	f.Add("nfs-slow@2562047h47m16.854775806s:factor=1e300")
+	f.Add("link-flap@1s+2s+3s")
+	f.Add("node-crash@20s:node=a=b,count=-1;seed=-9")
+	f.Fuzz(func(t *testing.T, s string) {
+		pl, err := ParsePlan(s)
+		if err != nil {
+			return
+		}
+		c1 := pl.String()
+		pl2, err := ParsePlan(c1)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", c1, s, err)
+		}
+		if c2 := pl2.String(); c1 != c2 {
+			t.Fatalf("canonicalization not idempotent for %q:\n first: %q\nsecond: %q", s, c1, c2)
+		}
+	})
+}
+
+// TestPlanRoundtripLargeTimes pins the duration-rendering regression: plans
+// with times beyond %g's no-exponent range must roundtrip exactly.
+func TestPlanRoundtripLargeTimes(t *testing.T) {
+	for _, s := range []string{
+		"ib-train-stall@1000000s",
+		"nfs-slow@277777h46m40s+1000000s:factor=10",
+		"node-crash@1000000000s+0.000000001s",
+	} {
+		pl, err := ParsePlan(s)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", s, err)
+		}
+		c := pl.String()
+		pl2, err := ParsePlan(c)
+		if err != nil {
+			t.Fatalf("canonical %q of %q does not reparse: %v", c, s, err)
+		}
+		if pl2.Seed != pl.Seed || len(pl2.Specs) != len(pl.Specs) {
+			t.Fatalf("roundtrip changed plan shape: %q -> %q", s, c)
+		}
+		for i := range pl.Specs {
+			if pl.Specs[i] != pl2.Specs[i] {
+				t.Fatalf("spec %d changed in roundtrip of %q:\n before: %+v\n after:  %+v",
+					i, s, pl.Specs[i], pl2.Specs[i])
+			}
+		}
+	}
+}

@@ -10,35 +10,104 @@ type Logger interface {
 	Logf(format string, args ...any)
 }
 
+// Backend names an event-queue implementation for the kernel.
+type Backend string
+
+const (
+	// BackendHeap is the default binary-heap event queue: O(log n)
+	// Schedule and Cancel, a fresh event struct per Schedule. It is the
+	// reference implementation the timer wheel is validated against.
+	BackendHeap Backend = "heap"
+	// BackendWheel is a hierarchical timer wheel: O(1) Schedule and
+	// Cancel with pooled event structs. Semantically identical to the
+	// heap (same (time, seq) execution order); faster and allocation-lean
+	// at fleet scale. See wheel.go.
+	BackendWheel Backend = "wheel"
+)
+
+// Options configures a kernel built with NewKernelWith.
+type Options struct {
+	// Backend selects the event-queue implementation. Empty means
+	// BackendHeap.
+	Backend Backend
+}
+
+// Stats counts scheduler activity since kernel creation.
+type Stats struct {
+	Scheduled uint64 // events accepted by Schedule/ScheduleAt
+	Executed  uint64 // events that fired
+	Cancelled uint64 // events cancelled before firing
+}
+
+// event states. A pooled event is recycled once it leaves statePending, so
+// Event handles revalidate via the seq ticket before touching one.
+const (
+	stateFree uint8 = iota
+	statePending
+	stateFired
+	stateCancelled
+)
+
 // event is a scheduled callback. Events with equal fire times execute in
 // the order they were scheduled (FIFO by seq).
 type event struct {
 	at    Time
 	seq   uint64
 	fn    func()
-	index int // heap index; -1 once popped or cancelled
+	k     *Kernel
+	index int    // heap/overflow position; -1 once popped or removed
+	next  *event // wheel slot chain / ready chain / free list
+	prev  *event // wheel slot chain (doubly linked for O(1) cancel)
+	state uint8
+	lvl   uint8 // wheel level, lvlOverflow, or lvlReady
+	slot  uint8 // wheel slot within lvl
 }
 
-// Event is a handle to a scheduled event, usable to cancel it.
+// Event is a cheap value handle to a scheduled event, usable to cancel it.
+// The zero Event refers to no event: Cancel is a no-op and Pending reports
+// false. Handles stay valid (as inert no-ops) after the event fires, even
+// though the backend may recycle the underlying struct.
 type Event struct {
-	k  *Kernel
-	ev *event
+	ev  *event
+	seq uint64
 }
 
 // Cancel removes the event from the queue. It is a no-op if the event has
 // already fired or been cancelled. Reports whether the event was cancelled.
-func (e *Event) Cancel() bool {
-	if e == nil || e.ev == nil || e.ev.index < 0 {
+func (e Event) Cancel() bool {
+	ev := e.ev
+	if ev == nil || ev.seq != e.seq || ev.state != statePending {
 		return false
 	}
-	heap.Remove(&e.k.queue, e.ev.index)
-	e.ev.index = -1
-	e.ev.fn = nil
-	return true
+	ev.k.cancelled++
+	return ev.k.q.cancel(ev)
 }
 
 // Pending reports whether the event is still queued.
-func (e *Event) Pending() bool { return e != nil && e.ev != nil && e.ev.index >= 0 }
+func (e Event) Pending() bool {
+	return e.ev != nil && e.ev.seq == e.seq && e.ev.state == statePending
+}
+
+// eventQueue is the kernel's pluggable event-queue backend. Implementations
+// must execute events in strict (at, seq) order and never hand back a
+// cancelled event.
+type eventQueue interface {
+	// alloc returns a blank event struct, recycled if the backend pools.
+	alloc() *event
+	// schedule enqueues ev (at, seq, fn, k, state already set).
+	schedule(ev *event)
+	// cancel removes a pending event; reports whether it did.
+	cancel(ev *event) bool
+	// pop removes and returns the earliest pending event with at <= limit,
+	// or nil if there is none.
+	pop(limit Time) *event
+	// release returns a fired event for recycling (no-op if unpooled).
+	release(ev *event)
+	// len reports the number of pending (non-cancelled) events.
+	len() int
+	// clear discards all queued events and pooled memory.
+	clear()
+}
 
 type eventHeap []*event
 
@@ -69,27 +138,85 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
+// heapQueue is the baseline backend: a plain binary heap, one event
+// allocation per Schedule, eager removal on Cancel.
+type heapQueue struct {
+	h eventHeap
+}
+
+func (q *heapQueue) alloc() *event      { return &event{} }
+func (q *heapQueue) schedule(ev *event) { heap.Push(&q.h, ev) }
+
+func (q *heapQueue) cancel(ev *event) bool {
+	heap.Remove(&q.h, ev.index)
+	ev.state = stateCancelled
+	ev.fn = nil
+	return true
+}
+
+func (q *heapQueue) pop(limit Time) *event {
+	if len(q.h) == 0 || q.h[0].at > limit {
+		return nil
+	}
+	return heap.Pop(&q.h).(*event)
+}
+
+func (q *heapQueue) release(*event) {}
+func (q *heapQueue) len() int       { return len(q.h) }
+func (q *heapQueue) clear()         { q.h = nil }
+
 // Kernel is a discrete-event simulation engine. A Kernel is not safe for
 // concurrent use from multiple OS-level goroutines except through the
 // Proc handoff protocol it manages itself.
 type Kernel struct {
-	now     Time
-	seq     uint64
-	queue   eventHeap
-	yield   chan struct{} // procs signal here when they park or exit
-	procs   map[*Proc]struct{}
-	running bool
-	failure any // first panic propagated from a proc
-	trace   Logger
-	closed  bool
+	now       Time
+	seq       uint64
+	q         eventQueue
+	backend   Backend
+	scheduled uint64
+	executed  uint64
+	cancelled uint64
+	yield     chan struct{} // procs signal here when they park or exit
+	procs     map[*Proc]struct{}
+	running   bool
+	failure   any // first panic propagated from a proc
+	trace     Logger
+	closed    bool
 }
 
-// NewKernel returns a kernel with the clock at the epoch.
-func NewKernel() *Kernel {
-	return &Kernel{
-		yield: make(chan struct{}),
-		procs: make(map[*Proc]struct{}),
+// NewKernel returns a heap-backed kernel with the clock at the epoch.
+func NewKernel() *Kernel { return NewKernelWith(Options{}) }
+
+// NewKernelWith returns a kernel with the clock at the epoch, using the
+// event-queue backend selected by opts. An unknown backend panics.
+func NewKernelWith(opts Options) *Kernel {
+	b := opts.Backend
+	if b == "" {
+		b = BackendHeap
 	}
+	k := &Kernel{
+		backend: b,
+		yield:   make(chan struct{}),
+		procs:   make(map[*Proc]struct{}),
+	}
+	switch b {
+	case BackendHeap:
+		k.q = &heapQueue{}
+	case BackendWheel:
+		k.q = &wheelQueue{}
+	default:
+		panic(fmt.Sprintf("sim: unknown kernel backend %q", b))
+	}
+	return k
+}
+
+// Backend reports which event-queue backend the kernel runs on.
+func (k *Kernel) Backend() Backend { return k.backend }
+
+// Stats returns scheduler activity counters (for profiling and the
+// events/sec benchmarks).
+func (k *Kernel) Stats() Stats {
+	return Stats{Scheduled: k.scheduled, Executed: k.executed, Cancelled: k.cancelled}
 }
 
 // SetTrace installs a trace logger (nil disables tracing).
@@ -107,22 +234,28 @@ func (k *Kernel) Now() Time { return k.now }
 
 // Schedule queues fn to run after delay. A negative delay panics.
 // The returned handle may be used to cancel the event.
-func (k *Kernel) Schedule(delay Time, fn func()) *Event {
+func (k *Kernel) Schedule(delay Time, fn func()) Event {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: Schedule with negative delay %v", delay))
 	}
 	if k.closed {
 		panic("sim: Schedule on closed kernel")
 	}
-	ev := &event{at: k.now.SaturatingAdd(delay), seq: k.seq, fn: fn}
+	ev := k.q.alloc()
+	ev.at = k.now.SaturatingAdd(delay)
+	ev.seq = k.seq
+	ev.fn = fn
+	ev.k = k
+	ev.state = statePending
 	k.seq++
-	heap.Push(&k.queue, ev)
-	return &Event{k: k, ev: ev}
+	k.scheduled++
+	k.q.schedule(ev)
+	return Event{ev: ev, seq: ev.seq}
 }
 
 // ScheduleAt queues fn to run at absolute time at, which must not be in
 // the past.
-func (k *Kernel) ScheduleAt(at Time, fn func()) *Event {
+func (k *Kernel) ScheduleAt(at Time, fn func()) Event {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: ScheduleAt %v is before now %v", at, k.now))
 	}
@@ -142,18 +275,20 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 	}
 	k.running = true
 	defer func() { k.running = false }()
-	for len(k.queue) > 0 {
-		next := k.queue[0]
-		if next.at > deadline {
+	for {
+		ev := k.q.pop(deadline)
+		if ev == nil {
 			break
 		}
-		heap.Pop(&k.queue)
-		if next.at < k.now {
+		if ev.at < k.now {
 			panic("sim: event time went backwards")
 		}
-		k.now = next.at
-		fn := next.fn
-		next.fn = nil
+		k.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		ev.state = stateFired
+		k.q.release(ev)
+		k.executed++
 		fn()
 		if k.failure != nil {
 			f := k.failure
@@ -168,10 +303,10 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 }
 
 // Idle reports whether no events are queued.
-func (k *Kernel) Idle() bool { return len(k.queue) == 0 }
+func (k *Kernel) Idle() bool { return k.q.len() == 0 }
 
 // PendingEvents returns the number of queued events.
-func (k *Kernel) PendingEvents() int { return len(k.queue) }
+func (k *Kernel) PendingEvents() int { return k.q.len() }
 
 // LiveProcs returns the number of processes that have been started and have
 // not yet exited (including parked ones).
@@ -197,5 +332,5 @@ func (k *Kernel) Close() {
 		}
 	}
 	k.procs = nil
-	k.queue = nil
+	k.q.clear()
 }

@@ -80,7 +80,7 @@ func TestEventCancel(t *testing.T) {
 func TestCancelOneOfMany(t *testing.T) {
 	k := NewKernel()
 	var got []int
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 5; i++ {
 		i := i
 		evs = append(evs, k.Schedule(Time(i+1)*Second, func() { got = append(got, i) }))

@@ -1,25 +1,36 @@
 package sim
 
-import "math"
-
 // PS is a processor-sharing resource: a server with a total capacity
 // (work units per simulated second) shared equally among all active jobs,
 // optionally with a per-job rate cap. It models both CPUs under contention
 // (capacity = cores, per-job cap = 1 core) and network pipes with fair
 // sharing (capacity = bandwidth).
+//
+// Internally PS runs on virtual-time accounting: because every active job
+// receives the same instantaneous rate, the cumulative per-job service
+// ("virtual work") advances identically for all of them. A job joining
+// when the accumulator reads V with amount A finishes when the accumulator
+// reaches V+A, so jobs complete in a fixed (finish tag, arrival seq) order
+// held in a min-heap. Clock advancement is O(1), completion is O(log K)
+// for K concurrent jobs — no per-job rescans.
 type PS struct {
 	k          *Kernel
 	capacity   float64 // units per second
 	perJobCap  float64 // max units per second per job; <=0 means unlimited
 	background float64 // capacity-consuming load with no completion (spinners)
-	jobs       map[*psJob]struct{}
+	virtual    float64 // cumulative per-job service since creation
+	seq        uint64  // arrival order tie-break for equal finish tags
+	jobs       []*psJob
+	freeJobs   []*psJob // recycled psJob structs
 	lastUpdate Time
-	pending    *Event
+	pending    Event
+	onFire     func() // preallocated completion callback
 }
 
 type psJob struct {
-	remaining float64
-	fut       *Future[struct{}]
+	finish float64 // virtual-time finish tag: virtual at join + amount
+	seq    uint64
+	fut    *Future[struct{}]
 }
 
 const psEpsilon = 1e-6
@@ -30,13 +41,18 @@ func NewPS(k *Kernel, capacity, perJobCap float64) *PS {
 	if capacity <= 0 {
 		panic("sim: NewPS with non-positive capacity")
 	}
-	return &PS{
+	ps := &PS{
 		k:          k,
 		capacity:   capacity,
 		perJobCap:  perJobCap,
-		jobs:       make(map[*psJob]struct{}),
 		lastUpdate: k.Now(),
 	}
+	ps.onFire = func() {
+		ps.pending = Event{}
+		ps.update()
+		ps.replan()
+	}
+	return ps
 }
 
 // Load returns the number of active jobs.
@@ -62,7 +78,12 @@ func (ps *PS) AddBackground(delta float64) {
 	ps.update()
 	ps.background += delta
 	if ps.background < 0 {
-		panic("sim: negative PS background load")
+		// Paired add/remove deltas need not cancel exactly in floating
+		// point; absorb the rounding residue, but reject real misuse.
+		if ps.background < -psEpsilon {
+			panic("sim: negative PS background load")
+		}
+		ps.background = 0
 	}
 	ps.replan()
 }
@@ -83,57 +104,93 @@ func (ps *PS) rate() float64 {
 	return r
 }
 
-// update advances all jobs' remaining work to the current time.
+// update advances the virtual-work accumulator to the current time.
 func (ps *PS) update() {
 	now := ps.k.Now()
 	if now == ps.lastUpdate {
 		return
 	}
 	elapsed := (now - ps.lastUpdate).Seconds()
-	r := ps.rate()
-	if r > 0 {
-		for j := range ps.jobs {
-			j.remaining -= r * elapsed
-		}
+	if r := ps.rate(); r > 0 {
+		ps.virtual += r * elapsed
 	}
 	ps.lastUpdate = now
 }
 
 // replan completes any finished jobs and schedules the next completion.
 func (ps *PS) replan() {
-	if ps.pending != nil {
-		ps.pending.Cancel()
-		ps.pending = nil
-	}
-	var finished []*psJob
-	for j := range ps.jobs {
-		if j.remaining <= psEpsilon {
-			finished = append(finished, j)
-		}
-	}
-	for _, j := range finished {
-		delete(ps.jobs, j)
-		j.fut.Set(struct{}{})
+	ps.pending.Cancel()
+	ps.pending = Event{}
+	for len(ps.jobs) > 0 && ps.jobs[0].finish-ps.virtual <= psEpsilon {
+		j := ps.popJob()
+		fut := j.fut
+		j.fut = nil
+		ps.freeJobs = append(ps.freeJobs, j)
+		fut.Set(struct{}{})
 	}
 	if len(ps.jobs) == 0 {
 		return
 	}
 	r := ps.rate()
-	minRemaining := math.Inf(1)
-	for j := range ps.jobs {
-		if j.remaining < minRemaining {
-			minRemaining = j.remaining
-		}
+	if r <= 0 {
+		// Stalled: capacity is fully absorbed by background load (or has
+		// underflowed to a zero per-job rate). No completion can happen
+		// until SetCapacity or AddBackground replans, so schedule nothing
+		// rather than dividing by zero into Inf/NaN deadlines.
+		return
 	}
-	dt := FromSeconds(minRemaining / r).SaturatingAdd(1) // +1ns guards against rounding short
+	dt := FromSeconds((ps.jobs[0].finish - ps.virtual) / r).SaturatingAdd(1) // +1ns guards against rounding short
 	if dt >= MaxTime {
 		return // effectively stalled; a later capacity change replans
 	}
-	ps.pending = ps.k.Schedule(dt, func() {
-		ps.pending = nil
-		ps.update()
-		ps.replan()
-	})
+	ps.pending = ps.k.Schedule(dt, ps.onFire)
+}
+
+// pushJob adds j to the completion-order min-heap.
+func (ps *PS) pushJob(j *psJob) {
+	ps.jobs = append(ps.jobs, j)
+	i := len(ps.jobs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !psLess(ps.jobs[i], ps.jobs[parent]) {
+			break
+		}
+		ps.jobs[i], ps.jobs[parent] = ps.jobs[parent], ps.jobs[i]
+		i = parent
+	}
+}
+
+// popJob removes and returns the next job to complete.
+func (ps *PS) popJob() *psJob {
+	j := ps.jobs[0]
+	last := len(ps.jobs) - 1
+	ps.jobs[0] = ps.jobs[last]
+	ps.jobs[last] = nil
+	ps.jobs = ps.jobs[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(ps.jobs) && psLess(ps.jobs[l], ps.jobs[smallest]) {
+			smallest = l
+		}
+		if r < len(ps.jobs) && psLess(ps.jobs[r], ps.jobs[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		ps.jobs[i], ps.jobs[smallest] = ps.jobs[smallest], ps.jobs[i]
+		i = smallest
+	}
+	return j
+}
+
+func psLess(a, b *psJob) bool {
+	if a.finish != b.finish {
+		return a.finish < b.finish
+	}
+	return a.seq < b.seq
 }
 
 // ServeAsync submits a job of the given amount of work and returns a future
@@ -146,7 +203,16 @@ func (ps *PS) ServeAsync(amount float64) *Future[struct{}] {
 		return fut
 	}
 	ps.update()
-	ps.jobs[&psJob{remaining: amount, fut: fut}] = struct{}{}
+	var j *psJob
+	if n := len(ps.freeJobs); n > 0 {
+		j = ps.freeJobs[n-1]
+		ps.freeJobs = ps.freeJobs[:n-1]
+	} else {
+		j = &psJob{}
+	}
+	j.finish, j.seq, j.fut = ps.virtual+amount, ps.seq, fut
+	ps.pushJob(j)
+	ps.seq++
 	ps.replan()
 	return fut
 }

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Bench-regression gate: runs the paper benchmarks at -benchtime 1x and
+# compares every deterministic sim-* metric against the committed baseline
+# (scripts/bench_baseline.json) via cmd/benchdiff. Wall-clock metrics
+# (ns/op, events/sec) are informational only and never compared.
+#
+# Usage:
+#   scripts/bench.sh            # full suite; writes BENCH_<date>.json
+#   scripts/bench.sh --smoke    # fast subset (Table 2 / Fig 6 / ablations)
+#   scripts/bench.sh --update   # intentionally re-baseline after a change
+#
+# Exits non-zero if any sim-* metric drifts beyond 1e-6 relative.
+set -eu
+cd "$(dirname "$0")/.."
+
+mode="${1:-}"
+pattern='Benchmark'
+diffargs=""
+case "$mode" in
+--smoke)
+    # Subset chosen for coverage per second: hotplug+link-up, the
+    # migration-time sweep, and the single-shot ablations. ~2 s total.
+    pattern='BenchmarkTable2HotplugLinkup|BenchmarkFig6MemtestOverhead|BenchmarkAblation'
+    ;;
+--update)
+    diffargs="-update"
+    ;;
+"") ;;
+*)
+    echo "usage: scripts/bench.sh [--smoke|--update]" >&2
+    exit 2
+    ;;
+esac
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+go test -run '^$' -bench "$pattern" -benchtime 1x . | tee "$out"
+
+if [ "$mode" = "" ]; then
+    diffargs="-write BENCH_$(date +%F).json"
+fi
+# shellcheck disable=SC2086
+go run ./cmd/benchdiff $diffargs <"$out"

@@ -15,5 +15,9 @@ go vet ./...
 go test -race ./...
 # Smoke the fleet control plane end to end (small fleet, ~1 s). The
 # matrix includes the rolling-maintenance drain and the bidirectional
-# return-home rows.
+# return-home rows. Exercise both kernel backends.
 go run ./cmd/ninjabench -run=ext-fleet -fleet-jobs=3 -fleet-drain-cap=2 >/dev/null
+go run ./cmd/ninjabench -run=ext-fleet -fleet-jobs=3 -fleet-drain-cap=2 -kernel=wheel >/dev/null
+# Bench-regression smoke: deterministic sim-* metrics vs the committed
+# baseline (full sweep: scripts/bench.sh).
+sh scripts/bench.sh --smoke >/dev/null
