@@ -14,13 +14,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -28,7 +32,18 @@ import (
 	"repro/internal/sim"
 )
 
+// main delegates to run so deferred profile writers and the partial -json
+// flush still execute on the interrupted-exit path.
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx))
+}
+
+// run executes the selected benchmarks, checking ctx between blocks:
+// Ctrl-C finishes the block in flight, flushes whatever tables completed
+// (including a partial -json dump), and exits 130.
+func run(ctx context.Context) int {
 	run := flag.String("run", "all", "comma-separated: table1,table2,fig6,fig7,fig8a,fig8b,ext-faults,ext-fleet or 'all'")
 	scale := flag.Float64("scale", 1.0, "iteration scale for fig7 (1.0 = full class D)")
 	fleetJobs := flag.Int("fleet-jobs", 0, "fleet size for ext-fleet (0 = default 8-job evacuation)")
@@ -44,12 +59,12 @@ func main() {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ninjabench: cpuprofile: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "ninjabench: cpuprofile: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -58,13 +73,12 @@ func main() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "ninjabench: memprofile: %v\n", err)
-				os.Exit(1)
+				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintf(os.Stderr, "ninjabench: memprofile: %v\n", err)
-				os.Exit(1)
 			}
 		}()
 	}
@@ -117,28 +131,28 @@ func main() {
 		}
 	}
 
-	if *scaleJobs > 0 {
+	if *scaleJobs > 0 && ctx.Err() == nil {
 		emit(scaleSweep(*scaleJobs, backend, *kernel != ""))
 	}
 
-	if want["table1"] {
+	if want["table1"] && ctx.Err() == nil {
 		emit(experiments.Table1())
 	}
-	if want["table2"] {
+	if want["table2"] && ctx.Err() == nil {
 		rows, err := experiments.Table2()
 		if err != nil {
 			fail("table2", err)
 		}
 		emit(experiments.Table2Render(rows))
 	}
-	if want["fig6"] {
+	if want["fig6"] && ctx.Err() == nil {
 		rows, err := experiments.Fig6(nil)
 		if err != nil {
 			fail("fig6", err)
 		}
 		emit(experiments.Fig6Render(rows))
 	}
-	if want["fig7"] {
+	if want["fig7"] && ctx.Err() == nil {
 		rows, err := experiments.Fig7(nil, *scale)
 		if err != nil {
 			fail("fig7", err)
@@ -152,7 +166,7 @@ func main() {
 		id    string
 		ranks int
 	}{{"fig8a", 1}, {"fig8b", 8}} {
-		if !want[f.id] {
+		if !want[f.id] || ctx.Err() != nil {
 			continue
 		}
 		res, err := experiments.Fig8(f.ranks, 40)
@@ -168,37 +182,38 @@ func main() {
 		}
 		fmt.Println()
 	}
-	if want["ext-scalability"] {
+	if want["ext-scalability"] && ctx.Err() == nil {
 		rows, err := experiments.ExtScalability(nil)
 		if err != nil {
 			fail("ext-scalability", err)
 		}
 		emit(experiments.ExtScalabilityRender(rows))
 	}
-	if want["ext-coldvslive"] {
+	if want["ext-coldvslive"] && ctx.Err() == nil {
 		rows, err := experiments.ExtColdVsLive(nil)
 		if err != nil {
 			fail("ext-coldvslive", err)
 		}
 		emit(experiments.ExtColdVsLiveRender(rows))
 	}
-	if want["ext-bypass"] {
+	if want["ext-bypass"] && ctx.Err() == nil {
 		rows, err := experiments.ExtBypassOverhead()
 		if err != nil {
 			fail("ext-bypass", err)
 		}
 		emit(experiments.ExtBypassOverheadRender(rows))
 	}
-	if want["ext-faults"] {
+	if want["ext-faults"] && ctx.Err() == nil {
 		rows, err := experiments.ExtFaultMatrix()
 		if err != nil {
 			fail("ext-faults", err)
 		}
 		emit(experiments.ExtFaultMatrixRender(rows))
 	}
-	if want["ext-fleet"] {
-		rows, err := experiments.ExtFleetMatrix(experiments.FleetConfig{Jobs: *fleetJobs, DrainCap: *drainCap, Backend: backend})
-		if err != nil {
+	if want["ext-fleet"] && ctx.Err() == nil {
+		rows, err := experiments.ExtFleetMatrixCtx(ctx,
+			experiments.FleetConfig{Jobs: *fleetJobs, DrainCap: *drainCap, Backend: backend})
+		if err != nil && !errors.Is(err, context.Canceled) {
 			fail("ext-fleet", err)
 		}
 		emit(experiments.ExtFleetRender(rows))
@@ -214,6 +229,11 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "ninjabench: wrote %d table(s) to %s\n", len(tables), *jsonPath)
 	}
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "ninjabench: interrupted; %d table(s) completed before the signal\n", len(tables))
+		return 130
+	}
+	return 0
 }
 
 // scaleSweep runs FleetScaleSim at doubling fleet sizes up to maxJobs and

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/jobs"
+	"repro/internal/metrics"
+)
+
+// DirectiveSpec is the wire form of a fleet directive: the JSON body of
+// POST /jobs. It maps onto experiments.RunFleetScenarioWith, which deploys
+// a fresh three-site simulated fleet and runs the directive over it — a
+// pure function of this spec, which is what makes re-executing an
+// interrupted job after a crash converge on the identical report.
+type DirectiveSpec struct {
+	// Kind is "evacuate" (default) or "rolling-maintenance".
+	// "consolidate" is rejected: the ninjad testbed boots one VM per
+	// source node, so there is no packing headroom to consolidate into.
+	Kind string `json:"kind,omitempty"`
+	// Placement is "greedy" (default) or "swap".
+	Placement string `json:"placement,omitempty"`
+	// Batched enables concurrent gang execution; Cap bounds concurrent
+	// migrations per batch (0 = unlimited).
+	Batched bool `json:"batched,omitempty"`
+	Cap     int  `json:"cap,omitempty"`
+	// MaxInFlight caps jobs migrating concurrently per rolling-maintenance
+	// mini-plan.
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+	// ReturnHome makes an evacuation bidirectional (site outage + return).
+	ReturnHome bool `json:"return_home,omitempty"`
+	// Faulted crashes a planned destination mid-directive; ForcedRollback
+	// forces job00 into a rollback-in-place re-queue.
+	Faulted        bool `json:"faulted,omitempty"`
+	ForcedRollback bool `json:"forced_rollback,omitempty"`
+	// Jobs / VMsPerJob size the fleet (defaults 8 × 2).
+	Jobs      int `json:"jobs,omitempty"`
+	VMsPerJob int `json:"vms_per_job,omitempty"`
+}
+
+// parseSpec decodes and validates a directive body. Unknown fields are
+// rejected so a typo ("placment") cannot silently run the default fleet.
+func parseSpec(raw json.RawMessage) (DirectiveSpec, error) {
+	var spec DirectiveSpec
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return spec, fmt.Errorf("directive: %w", err)
+	}
+	switch spec.Kind {
+	case "", "evacuate", "rolling-maintenance":
+	case "consolidate":
+		return spec, fmt.Errorf("directive: kind %q not supported: the ninjad testbed has no packing headroom (one VM per source node)", spec.Kind)
+	default:
+		return spec, fmt.Errorf("directive: unknown kind %q (want evacuate or rolling-maintenance)", spec.Kind)
+	}
+	switch spec.Placement {
+	case "", "greedy", "swap":
+	default:
+		return spec, fmt.Errorf("directive: unknown placement %q (want greedy or swap)", spec.Placement)
+	}
+	if spec.MaxInFlight < 0 || spec.Cap < 0 || spec.Jobs < 0 || spec.VMsPerJob < 0 {
+		return spec, fmt.Errorf("directive: negative counts are not valid")
+	}
+	if spec.Kind == "rolling-maintenance" && spec.ReturnHome {
+		return spec, fmt.Errorf("directive: return_home applies to evacuations only")
+	}
+	return spec, nil
+}
+
+// scenario maps a validated spec onto the experiment types.
+func (spec DirectiveSpec) scenario() (experiments.FleetConfig, experiments.FleetScenario) {
+	cfg := experiments.FleetConfig{Jobs: spec.Jobs, VMsPerJob: spec.VMsPerJob}
+	sc := experiments.FleetScenario{
+		Seq:            fleet.SeqPolicy{Batched: spec.Batched, Cap: spec.Cap},
+		MaxInFlight:    spec.MaxInFlight,
+		ReturnHome:     spec.ReturnHome,
+		Faulted:        spec.Faulted,
+		ForcedRollback: spec.ForcedRollback,
+	}
+	if spec.Kind == "rolling-maintenance" {
+		sc.Kind = fleet.RollingMaintenance
+		if sc.MaxInFlight <= 0 {
+			sc.MaxInFlight = 2
+		}
+	}
+	if spec.Placement == "swap" {
+		sc.Placement = fleet.PlaceSwap
+	}
+	return cfg, sc
+}
+
+// jobResult is the deterministic result committed into the job record:
+// simulated-clock quantities only, no wall-clock timestamps, so an
+// interrupted-and-re-executed directive produces byte-identical bytes.
+type jobResult struct {
+	Scenario    string        `json:"scenario"`
+	Jobs        int           `json:"jobs"`
+	Batches     int           `json:"batches"`
+	Score       int           `json:"score"`
+	IBJobsOnIB  int           `json:"ib_jobs_on_ib"`
+	IBJobs      int           `json:"ib_jobs"`
+	PredictedS  float64       `json:"predicted_s"`
+	MakespanS   float64       `json:"makespan_s"`
+	DowntimeS   float64       `json:"downtime_s"`
+	DeadlineMet bool          `json:"deadline_met"`
+	Replans     int           `json:"replans"`
+	Requeues    int           `json:"requeues"`
+	Outcomes    string        `json:"outcomes"`
+	PerJob      []jobOutcomeJ `json:"per_job"`
+}
+
+type jobOutcomeJ struct {
+	Job       string   `json:"job"`
+	Dsts      []string `json:"dsts"`
+	Outcome   string   `json:"outcome"`
+	DowntimeS float64  `json:"downtime_s"`
+	Attempts  int      `json:"attempts"`
+	Replanned bool     `json:"replanned,omitempty"`
+	Leg       string   `json:"leg,omitempty"`
+}
+
+// runDirective is the jobs.Handler behind ninjad: it re-parses the stored
+// directive (the record is the source of truth, not whatever was in
+// memory before a crash), runs the fleet scenario with the executor trail
+// streamed into the job's event log, and returns the deterministic
+// result. The simulation itself is not interruptible mid-run; ctx is
+// honored at the start boundary so a drain doesn't launch new work.
+func runDirective(ctx context.Context, rec jobs.Record, emit func(jobs.Event)) (json.RawMessage, error) {
+	spec, err := parseSpec(rec.Directive)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg, sc := spec.scenario()
+	res, err := experiments.RunFleetScenarioWith(cfg, sc, func(ev metrics.Event) {
+		emit(jobs.Event{
+			Kind:    string(ev.Kind),
+			Phase:   ev.Phase,
+			Subject: ev.Subject,
+			Detail:  ev.Detail,
+			Sim:     ev.At.Seconds(),
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := jobResult{
+		Scenario:    res.Row.Scenario,
+		Jobs:        res.Row.Jobs,
+		Batches:     res.Row.Batches,
+		Score:       res.Row.Score,
+		IBJobsOnIB:  res.Row.IBJobsOnIB,
+		IBJobs:      res.Row.IBJobs,
+		PredictedS:  res.Row.Predicted.Seconds(),
+		MakespanS:   res.Row.Makespan.Seconds(),
+		DowntimeS:   res.Row.Downtime.Seconds(),
+		DeadlineMet: res.Row.Deadline,
+		Replans:     res.Row.Replans,
+		Requeues:    res.Row.Requeues,
+		Outcomes:    res.Row.Outcomes,
+	}
+	for _, jo := range res.Report.Jobs {
+		oj := jobOutcomeJ{
+			Job:       jo.Job.Name,
+			Outcome:   string(jo.Outcome),
+			DowntimeS: jo.Report.Total.Seconds(),
+			Attempts:  jo.Attempts,
+			Replanned: jo.Replanned,
+			Leg:       jo.Leg,
+		}
+		for _, n := range jo.Dsts {
+			oj.Dsts = append(oj.Dsts, n.Name)
+		}
+		out.PerJob = append(out.PerJob, oj)
+	}
+	return json.Marshal(out)
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// TestRestartRecoversInterruptedDirective is the end-to-end crash proof:
+// a state directory holding a job mid-run — exactly what kill -9 leaves
+// behind — must come back as an interrupted job that re-executes
+// deterministically, committing a result byte-identical to an
+// uninterrupted run of the same directive.
+func TestRestartRecoversInterruptedDirective(t *testing.T) {
+	// The uninterrupted control run, on its own daemon and state dir.
+	ctrl := startDaemon(t, t.TempDir())
+	httpJSON(t, "POST", "http://"+ctrl.addr()+"/jobs",
+		fmt.Sprintf(`{"id":"evac-1","directive":%s}`, smallSpec))
+	want := waitDone(t, ctrl, "evac-1")
+
+	// A dead daemon's state directory: the same directive, on disk in
+	// state running, lease held by an incarnation that no longer exists.
+	dir := t.TempDir()
+	now := time.Now()
+	s, err := jobs.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(&jobs.Record{
+		ID: "evac-1", State: jobs.Running,
+		Directive: json.RawMessage(smallSpec),
+		Submitted: now.Add(-time.Minute), Updated: now.Add(-time.Second),
+		Owner: "dead-incarnation-1", LeaseUntil: now.Add(time.Minute),
+		Attempts: 1,
+		Events: []jobs.Event{
+			{Seq: 1, Wall: now.Add(-time.Minute), Kind: jobs.EventSubmitted},
+			{Seq: 2, Wall: now.Add(-time.Second), Kind: jobs.EventPicked},
+			{Seq: 3, Wall: now.Add(-time.Second), Kind: jobs.EventRunning},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	d := startDaemon(t, dir)
+	got := waitDone(t, d, "evac-1")
+	if got.Interrupts != 1 {
+		t.Fatalf("interrupts = %d, want 1", got.Interrupts)
+	}
+	interrupted := false
+	for _, ev := range got.Events {
+		if ev.Kind == jobs.EventInterrupted {
+			interrupted = true
+		}
+	}
+	if !interrupted {
+		t.Fatalf("no interrupted event on the trail: %+v", got.Events)
+	}
+	// The recovery guarantee: same directive, same report — byte for byte.
+	if !bytes.Equal(got.Result, want.Result) {
+		t.Fatalf("recovered result differs from uninterrupted run:\n got %s\nwant %s",
+			got.Result, want.Result)
+	}
+}
+
+// TestRestartPreservesFinishedJobs: terminal records survive a restart
+// untouched and are served as-is — a restart must not re-run, reorder or
+// drop anything already committed.
+func TestRestartPreservesFinishedJobs(t *testing.T) {
+	dir := t.TempDir()
+	d1 := startDaemon(t, dir)
+	base := "http://" + d1.addr()
+	httpJSON(t, "POST", base+"/jobs", fmt.Sprintf(`{"id":"keep-1","directive":%s}`, smallSpec))
+	first := waitDone(t, d1, "keep-1")
+	d1.srv.Close()
+	d1.mgr.Abandon()
+
+	d2 := startDaemon(t, dir)
+	second := waitDone(t, d2, "keep-1")
+	if second.Attempts != first.Attempts || second.Interrupts != first.Interrupts {
+		t.Fatalf("restart rewrote the record: %+v vs %+v", second, first)
+	}
+	if !bytes.Equal(first.Result, second.Result) {
+		t.Fatalf("restart changed a committed result")
+	}
+	if len(second.Events) != len(first.Events) {
+		t.Fatalf("restart grew the trail: %d vs %d events", len(second.Events), len(first.Events))
+	}
+}

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// smallSpec is a 2-job, 1-VM-per-job evacuation: the smallest fleet the
+// testbed deploys, a few milliseconds of wall clock per run.
+const smallSpec = `{"kind":"evacuate","placement":"swap","batched":true,"cap":4,"jobs":2,"vms_per_job":1}`
+
+func startDaemon(t *testing.T, stateDir string) *daemon {
+	t.Helper()
+	d, err := newDaemon(daemonConfig{
+		Addr:     "127.0.0.1:0",
+		StateDir: stateDir,
+		Workers:  2,
+		Lease:    time.Second,
+		Backoff:  5 * time.Millisecond,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		d.srv.Close()
+		d.mgr.Abandon()
+	})
+	return d
+}
+
+func httpJSON(t *testing.T, method, url, body string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func waitDone(t *testing.T, d *daemon, id string) jobs.Record {
+	t.Helper()
+	base := "http://" + d.addr()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, body := httpJSON(t, "GET", base+"/jobs/"+id, "")
+		if code != http.StatusOK {
+			t.Fatalf("GET /jobs/%s = %d: %s", id, code, body)
+		}
+		var rec jobs.Record
+		if err := json.Unmarshal(body, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.State.Terminal() {
+			if rec.State != jobs.Done {
+				t.Fatalf("job %s ended %s: %s (events %+v)", id, rec.State, rec.Error, rec.Events)
+			}
+			return rec
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, rec.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSubmitLifecycleOverHTTP(t *testing.T) {
+	d := startDaemon(t, t.TempDir())
+	base := "http://" + d.addr()
+
+	code, body := httpJSON(t, "GET", base+"/healthz", "")
+	if code != http.StatusOK || !bytes.Contains(body, []byte(`"ok": true`)) {
+		t.Fatalf("healthz = %d: %s", code, body)
+	}
+
+	code, body = httpJSON(t, "POST", base+"/jobs",
+		fmt.Sprintf(`{"id":"evac-1","directive":%s}`, smallSpec))
+	if code != http.StatusCreated {
+		t.Fatalf("submit = %d: %s", code, body)
+	}
+	rec := waitDone(t, d, "evac-1")
+
+	var res jobResult
+	if err := json.Unmarshal(rec.Result, &res); err != nil {
+		t.Fatalf("result not a jobResult: %v: %s", err, rec.Result)
+	}
+	if res.Jobs != 2 || !res.DeadlineMet || res.Scenario != "swap/batched(cap=4)" {
+		t.Fatalf("result = %+v", res)
+	}
+	if len(res.PerJob) != 2 || res.PerJob[0].Outcome != "clean" {
+		t.Fatalf("per-job outcomes = %+v", res.PerJob)
+	}
+	// The fleet trail streamed into the job's events, sim-stamped.
+	simEvents := 0
+	for _, ev := range rec.Events {
+		if ev.Sim > 0 {
+			simEvents++
+		}
+	}
+	if simEvents == 0 {
+		t.Fatalf("no fleet events on the trail: %+v", rec.Events)
+	}
+
+	code, body = httpJSON(t, "GET", base+"/jobs", "")
+	if code != http.StatusOK || !bytes.Contains(body, []byte(`"evac-1"`)) {
+		t.Fatalf("list = %d: %s", code, body)
+	}
+}
+
+func TestSubmitIdempotencyOverHTTP(t *testing.T) {
+	d := startDaemon(t, t.TempDir())
+	base := "http://" + d.addr()
+	body := fmt.Sprintf(`{"id":"dup-1","directive":%s}`, smallSpec)
+
+	if code, resp := httpJSON(t, "POST", base+"/jobs", body); code != http.StatusCreated {
+		t.Fatalf("first submit = %d: %s", code, resp)
+	}
+	// A retried POST (client lost the response) is a 200, not a duplicate.
+	if code, resp := httpJSON(t, "POST", base+"/jobs", body); code != http.StatusOK {
+		t.Fatalf("resubmit = %d: %s", code, resp)
+	}
+	// Same ID, different directive: conflict.
+	other := fmt.Sprintf(`{"id":"dup-1","directive":%s}`,
+		`{"kind":"evacuate","jobs":2,"vms_per_job":1}`)
+	if code, resp := httpJSON(t, "POST", base+"/jobs", other); code != http.StatusConflict {
+		t.Fatalf("mismatched resubmit = %d: %s", code, resp)
+	}
+}
+
+func TestSubmitRejectsBadDirectives(t *testing.T) {
+	d := startDaemon(t, t.TempDir())
+	base := "http://" + d.addr()
+	for name, body := range map[string]string{
+		"no directive":  `{"id":"x"}`,
+		"bad json":      `{nope`,
+		"unknown kind":  `{"directive":{"kind":"explode"}}`,
+		"consolidate":   `{"directive":{"kind":"consolidate"}}`,
+		"unknown field": `{"directive":{"placment":"swap"}}`,
+		"rolling+home":  `{"directive":{"kind":"rolling-maintenance","return_home":true}}`,
+	} {
+		code, resp := httpJSON(t, "POST", base+"/jobs", body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: code = %d, want 400: %s", name, code, resp)
+		}
+	}
+	if code, _ := httpJSON(t, "GET", base+"/jobs/ghost", ""); code != http.StatusNotFound {
+		t.Errorf("get missing = %d, want 404", code)
+	}
+	if code, _ := httpJSON(t, "POST", base+"/jobs/ghost/cancel", ""); code != http.StatusNotFound {
+		t.Errorf("cancel missing = %d, want 404", code)
+	}
+}
+
+func TestEventsEndpointStreamsTrail(t *testing.T) {
+	d := startDaemon(t, t.TempDir())
+	base := "http://" + d.addr()
+	httpJSON(t, "POST", base+"/jobs", fmt.Sprintf(`{"id":"ev-1","directive":%s}`, smallSpec))
+	rec := waitDone(t, d, "ev-1")
+
+	// Full replay: NDJSON, one event per line, lifecycle marks included.
+	code, body := httpJSON(t, "GET", base+"/jobs/ev-1/events", "")
+	if code != http.StatusOK {
+		t.Fatalf("events = %d: %s", code, body)
+	}
+	var kinds []string
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		var ev jobs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not an event: %v: %s", n, err, sc.Bytes())
+		}
+		if ev.Seq != n+1 {
+			t.Fatalf("line %d has seq %d", n, ev.Seq)
+		}
+		kinds = append(kinds, ev.Kind)
+		n++
+	}
+	if n != len(rec.Events) {
+		t.Fatalf("streamed %d events, record has %d", n, len(rec.Events))
+	}
+	if kinds[0] != jobs.EventSubmitted || kinds[n-1] != jobs.EventDone {
+		t.Fatalf("trail boundaries = %s .. %s", kinds[0], kinds[n-1])
+	}
+
+	// ?since resumes after a sequence number; ?follow on a terminal job
+	// replays the rest and closes.
+	code, body = httpJSON(t, "GET",
+		fmt.Sprintf("%s/jobs/ev-1/events?since=%d&follow=1", base, n-1), "")
+	if code != http.StatusOK {
+		t.Fatalf("events since = %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], `"done"`) {
+		t.Fatalf("since=%d returned %q", n-1, lines)
+	}
+}
+
+func TestDirectiveSpecDefaults(t *testing.T) {
+	for body, wantLabel := range map[string]string{
+		`{}`: "greedy/sequential",
+		`{"placement":"swap","batched":true,"cap":4}`:                         "swap/batched(cap=4)",
+		`{"kind":"rolling-maintenance"}`:                                      "rolling(cap=2)/greedy",
+		`{"kind":"rolling-maintenance","placement":"swap","max_in_flight":3}`: "rolling(cap=3)/swap",
+	} {
+		spec, err := parseSpec(json.RawMessage(body))
+		if err != nil {
+			t.Fatalf("%s: %v", body, err)
+		}
+		_, sc := spec.scenario()
+		if got := sc.Label(); got != wantLabel {
+			t.Errorf("%s → %q, want %q", body, got, wantLabel)
+		}
+	}
+}

@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/experiments"
 	"repro/internal/faults"
@@ -47,6 +50,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Ctrl-C / SIGTERM stop the simulation cooperatively: the workload
+	// iteration hooks check ctx and halt the kernel at the current event,
+	// so the process exits cleanly instead of spinning through the rest of
+	// the run (memtest has no iteration hook and runs to completion).
+	ctx, cancelSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancelSignals()
+
 	plan, err := faults.ParsePlan(*faultPlan)
 	if err != nil {
 		die(err)
@@ -77,12 +87,20 @@ func main() {
 		}
 	}
 
+	// checkpoint is the cooperative cancellation point, called from the
+	// iteration hooks (inside the kernel's single event loop, so no
+	// synchronization is needed).
+	checkpoint := func() {
+		if ctx.Err() != nil {
+			d.K.Stop()
+		}
+	}
 	series := metrics.Series{Label: *workload}
 	var w workloads.Workload
 	switch strings.ToLower(*workload) {
 	case "bcast":
 		w = &workloads.BcastReduce{BytesPerNode: 8e9, Steps: *steps,
-			StepDone: func(s int, e sim.Time) { series.Add(s+1, e) }}
+			StepDone: func(s int, e sim.Time) { series.Add(s+1, e); checkpoint() }}
 	case "memtest":
 		w = &workloads.Memtest{ArrayBytes: *arrayGB * 1e9, Passes: *steps}
 	default:
@@ -94,7 +112,7 @@ func main() {
 		if b.Iterations < 4 {
 			b.Iterations = 4
 		}
-		b.IterDone = func(s int, e sim.Time) { series.Add(s+1, e) }
+		b.IterDone = func(s int, e sim.Time) { series.Add(s+1, e); checkpoint() }
 		w = b
 	}
 
@@ -129,6 +147,11 @@ func main() {
 	}
 	start := d.K.Now()
 	d.K.Run()
+	if ctx.Err() != nil && !appDone.Done() {
+		fmt.Fprintf(os.Stderr, "ninjasim: interrupted at t=%.2fs (%d workload steps recorded)\n",
+			d.K.Now().Seconds(), len(series.Points))
+		os.Exit(130)
+	}
 	if !appDone.Done() {
 		die(fmt.Errorf("workload did not finish (deadlock?)"))
 	}

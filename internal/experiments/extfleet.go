@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -286,6 +287,16 @@ type FleetResult struct {
 // bidirectional one, 1200 s for a rolling drain) so rows within a shape
 // are comparable.
 func RunFleetScenario(cfg FleetConfig, sc FleetScenario) (*FleetResult, error) {
+	return RunFleetScenarioWith(cfg, sc, nil)
+}
+
+// RunFleetScenarioWith is RunFleetScenario with a live tap on the
+// executor's event trail: sink (if non-nil) observes every metrics.Event
+// as it is recorded, in simulation order, before the run completes. The
+// run itself is unchanged — a nil and a non-nil sink produce byte-
+// identical results, which is what lets ninjad stream progress without
+// perturbing the determinism its crash-recovery proof depends on.
+func RunFleetScenarioWith(cfg FleetConfig, sc FleetScenario, sink func(metrics.Event)) (*FleetResult, error) {
 	cfg = cfg.withDefaults()
 	d, err := DeployFleet(cfg)
 	if err != nil {
@@ -317,6 +328,9 @@ func RunFleetScenario(cfg FleetConfig, sc FleetScenario) (*FleetResult, error) {
 		Placement: sc.Placement,
 		Replan:    true,
 	})
+	if sink != nil {
+		ex.Events().SetNotify(sink)
+	}
 	logInjection := func(kind, subject, detail string) {
 		ex.Events().Record(metrics.EventFaultInjected, kind, subject, detail)
 	}
@@ -459,9 +473,20 @@ func ExtFleetScenarios(drainCap int) []FleetScenario {
 
 // ExtFleetMatrix runs the full fleet directive × policy × fault matrix.
 func ExtFleetMatrix(cfg FleetConfig) ([]FleetRow, error) {
+	return ExtFleetMatrixCtx(context.Background(), cfg)
+}
+
+// ExtFleetMatrixCtx is ExtFleetMatrix with cooperative cancellation: ctx
+// is checked between scenarios (a scenario, once started, runs to
+// completion — the simulation has no wall-clock blocking inside it), and
+// a cancelled run returns the rows finished so far alongside ctx.Err().
+func ExtFleetMatrixCtx(ctx context.Context, cfg FleetConfig) ([]FleetRow, error) {
 	cfg = cfg.withDefaults()
 	var rows []FleetRow
 	for _, sc := range ExtFleetScenarios(cfg.DrainCap) {
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
 		res, err := RunFleetScenario(cfg, sc)
 		if err != nil {
 			return rows, err

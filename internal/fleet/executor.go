@@ -26,10 +26,38 @@ type Options struct {
 	// Model re-prices replanned migrations (zero value → defaults).
 	Model CostModel
 	// AttemptBudget bounds how many times one job may run within a leg,
-	// counting the first try (default 3). A job whose attempt rolled back
-	// in place is re-queued into a fresh batch until the budget is spent;
-	// 1 restores the old end-the-attempt-on-rollback behavior.
+	// counting the first try. 0 selects the default of 3; 1 restores the
+	// old end-the-attempt-on-rollback behavior. Negative values are
+	// rejected by Executor.Start with an *OptionsError — they are always a
+	// caller bug, and silently mapping them to the default used to mask
+	// it. A job whose attempt rolled back in place is re-queued into a
+	// fresh batch until the budget is spent.
 	AttemptBudget int
+}
+
+// OptionsError reports a rejected fleet option or directive field. It is
+// returned (wrapped in nothing — errors.As-able directly) by
+// Options.Validate, Directive.Validate, Planner.Plan and Executor.Start.
+type OptionsError struct {
+	Field  string // e.g. "Options.AttemptBudget"
+	Value  int
+	Reason string
+}
+
+func (e *OptionsError) Error() string {
+	return fmt.Sprintf("fleet: invalid %s %d: %s", e.Field, e.Value, e.Reason)
+}
+
+// Validate rejects option values that are always caller bugs. The zero
+// value of every field is valid and selects the documented default.
+func (o Options) Validate() error {
+	if o.AttemptBudget < 0 {
+		return &OptionsError{
+			Field: "Options.AttemptBudget", Value: o.AttemptBudget,
+			Reason: "attempt budget must not be negative (0 selects the default of 3)",
+		}
+	}
+	return nil
 }
 
 func (o Options) attemptBudget() int {
@@ -184,6 +212,12 @@ func (e *Executor) Events() *metrics.EventLog { return e.events }
 func (e *Executor) Start() (*sim.Future[Report], error) {
 	if e.begun {
 		return nil, fmt.Errorf("fleet: executor already started")
+	}
+	if err := e.opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := e.plan.Dir.Validate(); err != nil {
+		return nil, err
 	}
 	if e.plan.Dir.Kind == RollingMaintenance && e.opts.Topo == nil {
 		return nil, fmt.Errorf("fleet: rolling maintenance requires Options.Topo")

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -320,4 +321,69 @@ func TestOutcomeCountsKeepsUnknownOutcomes(t *testing.T) {
 	if empty := (Report{}).OutcomeCounts(); empty != "none" {
 		t.Fatalf("empty report renders %q", empty)
 	}
+}
+
+// Negative knob values are always caller bugs: they must come back as a
+// typed *OptionsError from every entry point, while zero keeps selecting
+// the documented default.
+func TestOptionValidationRejectsNegatives(t *testing.T) {
+	var oe *OptionsError
+	if err := (Options{AttemptBudget: -1}).Validate(); !errors.As(err, &oe) {
+		t.Fatalf("Options.Validate(-1) = %v, want *OptionsError", err)
+	} else if oe.Field != "Options.AttemptBudget" || oe.Value != -1 {
+		t.Fatalf("OptionsError = %+v", oe)
+	}
+	if err := (Options{}).Validate(); err != nil {
+		t.Fatalf("zero Options rejected: %v", err)
+	}
+	if err := (Options{AttemptBudget: 1}).Validate(); err != nil {
+		t.Fatalf("positive budget rejected: %v", err)
+	}
+
+	if err := (Directive{MaxInFlight: -2}).Validate(); !errors.As(err, &oe) {
+		t.Fatalf("Directive.Validate(-2) = %v, want *OptionsError", err)
+	} else if oe.Field != "Directive.MaxInFlight" || oe.Value != -2 {
+		t.Fatalf("OptionsError = %+v", oe)
+	}
+	if err := (Directive{}).Validate(); err != nil {
+		t.Fatalf("zero Directive rejected: %v", err)
+	}
+}
+
+func TestPlannerAndExecutorRejectInvalidKnobs(t *testing.T) {
+	k := sim.NewKernel()
+	tb := hw.NewTestbed(k)
+	src := tb.AddCluster("src", 2, ethSpec())
+	dst := tb.AddCluster("dst", 2, ethSpec())
+	jobs := newTestJobs(t, k, tb, src.Nodes, []float64{4, 4}, 1)
+	topo := NewTopology(
+		&Site{Name: "src", Nodes: src.Nodes},
+		&Site{Name: "dst", Nodes: dst.Nodes},
+	)
+	p := &Planner{Topo: topo}
+
+	var oe *OptionsError
+	if _, err := p.Plan(Directive{Source: topo.Sites[0], MaxInFlight: -1}, jobs); !errors.As(err, &oe) {
+		t.Fatalf("Plan with negative MaxInFlight = %v, want *OptionsError", err)
+	}
+
+	plan, err := p.Plan(Directive{Kind: Evacuate, Source: topo.Sites[0]}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(k, plan, Options{Topo: topo, AttemptBudget: -3})
+	if _, err := ex.Start(); !errors.As(err, &oe) {
+		t.Fatalf("Start with negative AttemptBudget = %v, want *OptionsError", err)
+	}
+	// The typed error must carry the offending field for the caller's
+	// message.
+	if oe.Field != "Options.AttemptBudget" || oe.Value != -3 {
+		t.Fatalf("OptionsError = %+v", oe)
+	}
+	// With the bad knob fixed the same plan starts fine.
+	ex2 := NewExecutor(k, plan, Options{Topo: topo})
+	if _, err := ex2.Start(); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	k.Run()
 }

@@ -97,8 +97,10 @@ type Directive struct {
 	// nodes"); ignored for Evacuate.
 	MaxNodes int
 	// MaxInFlight bounds the jobs migrating concurrently within one
-	// rolling-maintenance mini-plan (0 = the planner's sequencing policy
-	// applies unchanged). Ignored for other kinds.
+	// rolling-maintenance mini-plan. 0 is the default: the planner's
+	// sequencing policy applies unchanged. Negative values are rejected by
+	// Planner.Plan and Executor.Start with an *OptionsError. Ignored for
+	// other kinds.
 	MaxInFlight int
 	// Drain is the node currently under maintenance. The executor sets it
 	// per mini-plan while running a RollingMaintenance directive; callers
@@ -115,6 +117,18 @@ type Directive struct {
 	// RestoreTimeout bounds the restore wait (0 = wait indefinitely). On
 	// expiry the return leg is skipped and the jobs stay evacuated.
 	RestoreTimeout sim.Time
+}
+
+// Validate rejects directive field values that are always caller bugs.
+// The zero value of every tunable selects the documented default.
+func (d Directive) Validate() error {
+	if d.MaxInFlight < 0 {
+		return &OptionsError{
+			Field: "Directive.MaxInFlight", Value: d.MaxInFlight,
+			Reason: "jobs-in-flight cap must not be negative (0 leaves the sequencing policy unchanged)",
+		}
+	}
+	return nil
 }
 
 // Site is one data center (or cluster) the fleet spans.
@@ -207,6 +221,9 @@ type Planner struct {
 // sequencing happen per drained node at execution time, since each
 // mini-plan depends on where the previous drains moved the fleet.
 func (pl *Planner) Plan(dir Directive, jobs []*Job) (*Plan, error) {
+	if err := dir.Validate(); err != nil {
+		return nil, err
+	}
 	if dir.Kind == RollingMaintenance {
 		if dir.Source == nil {
 			return nil, fmt.Errorf("fleet: rolling-maintenance directive without a source site")

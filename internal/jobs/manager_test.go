@@ -1,0 +1,370 @@
+package jobs_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// fastCfg returns a manager config tuned for test speed: short lease,
+// tight polling, millisecond backoff.
+func fastCfg(dir string, h jobs.Handler) jobs.Config {
+	return jobs.Config{
+		Dir: dir, Handler: h,
+		Lease: 250 * time.Millisecond, Poll: 2 * time.Millisecond,
+		Backoff: 3 * time.Millisecond, HardGrace: 500 * time.Millisecond,
+		MaxAttempts: 3, Workers: 2,
+	}
+}
+
+func startMgr(t *testing.T, cfg jobs.Config) *jobs.Manager {
+	t.Helper()
+	m, err := jobs.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Abandon)
+	return m
+}
+
+func waitState(t *testing.T, m *jobs.Manager, id string, want jobs.State) jobs.Record {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rec, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.State == want {
+			return rec
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s (want %s): %+v", id, rec.State, want, rec.Events)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func okHandler(result string) jobs.Handler {
+	return func(ctx context.Context, rec jobs.Record, emit func(jobs.Event)) (json.RawMessage, error) {
+		return json.RawMessage(result), nil
+	}
+}
+
+func TestTransitionTable(t *testing.T) {
+	all := []jobs.State{jobs.Pending, jobs.Picked, jobs.Running, jobs.Done, jobs.Failed, jobs.Cancelled}
+	legal := map[[2]jobs.State]bool{
+		{jobs.Pending, jobs.Picked}:    true, // claim
+		{jobs.Pending, jobs.Cancelled}: true, // cancel before pick-up
+		{jobs.Picked, jobs.Running}:    true, // execution begins
+		{jobs.Picked, jobs.Pending}:    true, // lease reclaim
+		{jobs.Picked, jobs.Cancelled}:  true, // cancel raced the claim
+		{jobs.Running, jobs.Done}:      true, // success
+		{jobs.Running, jobs.Failed}:    true, // budget spent
+		{jobs.Running, jobs.Cancelled}: true, // cancel mid-run
+		{jobs.Running, jobs.Pending}:   true, // retry / interrupt / reclaim
+	}
+	for _, from := range all {
+		for _, to := range all {
+			want := legal[[2]jobs.State{from, to}]
+			if got := jobs.CanTransition(from, to); got != want {
+				t.Errorf("CanTransition(%s, %s) = %v, want %v", from, to, got, want)
+			}
+		}
+	}
+	for _, s := range all {
+		if !s.Valid() {
+			t.Errorf("%s not Valid()", s)
+		}
+	}
+	if jobs.State("bogus").Valid() {
+		t.Error("bogus state Valid()")
+	}
+	for _, s := range []jobs.State{jobs.Done, jobs.Failed, jobs.Cancelled} {
+		if !s.Terminal() {
+			t.Errorf("%s not Terminal()", s)
+		}
+	}
+	for _, s := range []jobs.State{jobs.Pending, jobs.Picked, jobs.Running} {
+		if s.Terminal() {
+			t.Errorf("%s Terminal()", s)
+		}
+	}
+}
+
+func TestLifecycleDone(t *testing.T) {
+	m := startMgr(t, fastCfg(t.TempDir(), okHandler(`{"ok":true}`)))
+	rec, created, err := m.Submit("job-1", json.RawMessage(`{"kind":"noop"}`))
+	if err != nil || !created {
+		t.Fatalf("submit: created=%v err=%v", created, err)
+	}
+	if rec.State != jobs.Pending {
+		t.Fatalf("fresh job state = %s", rec.State)
+	}
+	done := waitState(t, m, "job-1", jobs.Done)
+	if string(done.Result) != `{"ok":true}` {
+		t.Fatalf("result = %s", done.Result)
+	}
+	if done.Attempts != 1 || done.Interrupts != 0 {
+		t.Fatalf("attempts=%d interrupts=%d", done.Attempts, done.Interrupts)
+	}
+	var kinds []string
+	for i, ev := range done.Events {
+		if ev.Seq != i+1 {
+			t.Fatalf("event seq not dense: %+v", done.Events)
+		}
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []string{jobs.EventSubmitted, jobs.EventPicked, jobs.EventRunning, jobs.EventDone}
+	if fmt.Sprint(kinds) != fmt.Sprint(want) {
+		t.Fatalf("event kinds = %v, want %v", kinds, want)
+	}
+	// The terminal record must be on disk, matching the in-memory view.
+	s, _ := jobs.NewStore(m.Dir())
+	onDisk, err := s.Load("job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.State != jobs.Done || string(onDisk.Result) != `{"ok":true}` {
+		t.Fatalf("on-disk record: %+v", onDisk)
+	}
+}
+
+func TestSubmitIdempotent(t *testing.T) {
+	m := startMgr(t, fastCfg(t.TempDir(), okHandler(`1`)))
+	if _, created, err := m.Submit("dup", json.RawMessage(`{"a": 1}`)); err != nil || !created {
+		t.Fatalf("first submit: %v %v", created, err)
+	}
+	// Same directive (modulo whitespace): idempotent, not recreated.
+	rec, created, err := m.Submit("dup", json.RawMessage(`{"a":1}`))
+	if err != nil || created {
+		t.Fatalf("resubmit: created=%v err=%v", created, err)
+	}
+	if rec.ID != "dup" {
+		t.Fatalf("resubmit returned %q", rec.ID)
+	}
+	// Different directive under the same ID: typed conflict.
+	var mismatch *jobs.MismatchError
+	if _, _, err := m.Submit("dup", json.RawMessage(`{"a":2}`)); !errors.As(err, &mismatch) {
+		t.Fatalf("want MismatchError, got %v", err)
+	}
+	// Bad IDs and bad JSON are rejected up front.
+	if _, _, err := m.Submit("../escape", json.RawMessage(`{}`)); err == nil {
+		t.Fatal("path-escaping id accepted")
+	}
+	if _, _, err := m.Submit("okid", json.RawMessage(`{nope`)); err == nil {
+		t.Fatal("invalid JSON accepted")
+	}
+	// Empty ID gets a generated one.
+	rec, created, err = m.Submit("", json.RawMessage(`{}`))
+	if err != nil || !created || rec.ID == "" {
+		t.Fatalf("generated-id submit: %+v %v %v", rec, created, err)
+	}
+}
+
+func TestRetryBackoffThenDone(t *testing.T) {
+	var calls atomic.Int32
+	h := func(ctx context.Context, rec jobs.Record, emit func(jobs.Event)) (json.RawMessage, error) {
+		if calls.Add(1) < 3 {
+			return nil, fmt.Errorf("transient %d", calls.Load())
+		}
+		return json.RawMessage(`"ok"`), nil
+	}
+	m := startMgr(t, fastCfg(t.TempDir(), h))
+	m.Submit("flaky", json.RawMessage(`{}`))
+	rec := waitState(t, m, "flaky", jobs.Done)
+	if rec.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", rec.Attempts)
+	}
+	retries := 0
+	for _, ev := range rec.Events {
+		if ev.Kind == jobs.EventRetry {
+			retries++
+		}
+	}
+	if retries != 2 {
+		t.Fatalf("retry events = %d, want 2; trail: %+v", retries, rec.Events)
+	}
+	if rec.Error != "" {
+		t.Fatalf("error not cleared on success: %q", rec.Error)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	h := func(ctx context.Context, rec jobs.Record, emit func(jobs.Event)) (json.RawMessage, error) {
+		return nil, errors.New("permanent")
+	}
+	m := startMgr(t, fastCfg(t.TempDir(), h))
+	m.Submit("doomed", json.RawMessage(`{}`))
+	rec := waitState(t, m, "doomed", jobs.Failed)
+	if rec.Attempts != 3 || rec.Error != "permanent" {
+		t.Fatalf("attempts=%d error=%q", rec.Attempts, rec.Error)
+	}
+}
+
+func TestCancelPending(t *testing.T) {
+	// Not started: jobs stay pending, so cancellation hits the
+	// pending→cancelled edge deterministically.
+	m, err := jobs.New(fastCfg(t.TempDir(), okHandler(`1`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Submit("c1", json.RawMessage(`{}`))
+	rec, err := m.Cancel("c1")
+	if err != nil || rec.State != jobs.Cancelled {
+		t.Fatalf("cancel pending: %s %v", rec.State, err)
+	}
+	// Idempotent on terminal jobs.
+	rec, err = m.Cancel("c1")
+	if err != nil || rec.State != jobs.Cancelled {
+		t.Fatalf("re-cancel: %s %v", rec.State, err)
+	}
+	if _, err := m.Cancel("ghost"); !errors.Is(err, jobs.ErrNotFound) {
+		t.Fatalf("cancel missing: %v", err)
+	}
+}
+
+func TestCancelRunning(t *testing.T) {
+	running := make(chan struct{})
+	h := func(ctx context.Context, rec jobs.Record, emit func(jobs.Event)) (json.RawMessage, error) {
+		close(running)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	m := startMgr(t, fastCfg(t.TempDir(), h))
+	m.Submit("c2", json.RawMessage(`{}`))
+	<-running
+	waitState(t, m, "c2", jobs.Running)
+	if _, err := m.Cancel("c2"); err != nil {
+		t.Fatal(err)
+	}
+	rec := waitState(t, m, "c2", jobs.Cancelled)
+	if !rec.CancelRequested {
+		t.Fatal("CancelRequested not recorded")
+	}
+}
+
+func TestStopDrainsInFlight(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	h := func(ctx context.Context, rec jobs.Record, emit func(jobs.Event)) (json.RawMessage, error) {
+		close(started)
+		<-release
+		return json.RawMessage(`"drained"`), nil
+	}
+	m := startMgr(t, fastCfg(t.TempDir(), h))
+	m.Submit("d1", json.RawMessage(`{}`))
+	<-started
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+	if err := m.Stop(context.Background()); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	rec, _ := m.Get("d1")
+	if rec.State != jobs.Done || string(rec.Result) != `"drained"` {
+		t.Fatalf("drained job: %s %s", rec.State, rec.Result)
+	}
+	if _, _, err := m.Submit("late", json.RawMessage(`{}`)); err == nil {
+		t.Fatal("submit accepted after Stop")
+	}
+}
+
+func TestStopDeadlineInterruptsToCheckpoint(t *testing.T) {
+	started := make(chan struct{})
+	h := func(ctx context.Context, rec jobs.Record, emit func(jobs.Event)) (json.RawMessage, error) {
+		close(started)
+		<-ctx.Done() // honors cancellation, but never finishes on its own
+		return nil, ctx.Err()
+	}
+	m := startMgr(t, fastCfg(t.TempDir(), h))
+	m.Submit("d2", json.RawMessage(`{}`))
+	<-started
+	waitState(t, m, "d2", jobs.Running)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := m.Stop(ctx); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	// The drained job must be checkpointed as interrupted-pending — a
+	// clean restart point, indistinguishable from a crash except nothing
+	// un-persisted was lost.
+	rec, _ := m.Get("d2")
+	if rec.State != jobs.Pending || rec.Interrupts != 1 {
+		t.Fatalf("interrupted job: state=%s interrupts=%d", rec.State, rec.Interrupts)
+	}
+	s, _ := jobs.NewStore(m.Dir())
+	onDisk, err := s.Load("d2")
+	if err != nil || onDisk.State != jobs.Pending || onDisk.Interrupts != 1 {
+		t.Fatalf("on-disk checkpoint: %+v err=%v", onDisk, err)
+	}
+}
+
+func TestWatchStreamsToTerminal(t *testing.T) {
+	h := func(ctx context.Context, rec jobs.Record, emit func(jobs.Event)) (json.RawMessage, error) {
+		emit(jobs.Event{Kind: "batch", Detail: "batch 1/1", Sim: 36.5})
+		return json.RawMessage(`"ok"`), nil
+	}
+	cfg := fastCfg(t.TempDir(), h)
+	m, err := jobs.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Abandon)
+	m.Submit("w1", json.RawMessage(`{}`))
+	replay, tail, off, err := m.Watch("w1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off()
+	if len(replay) != 1 || replay[0].Kind != jobs.EventSubmitted {
+		t.Fatalf("replay = %+v", replay)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var live []jobs.Event
+	timeout := time.After(10 * time.Second)
+	for tail != nil {
+		select {
+		case ev, ok := <-tail:
+			if !ok {
+				tail = nil
+				break
+			}
+			live = append(live, ev)
+		case <-timeout:
+			t.Fatalf("stream never closed; got %+v", live)
+		}
+	}
+	var kinds []string
+	for _, ev := range live {
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []string{jobs.EventPicked, jobs.EventRunning, "batch", jobs.EventDone}
+	if fmt.Sprint(kinds) != fmt.Sprint(want) {
+		t.Fatalf("live kinds = %v, want %v", kinds, want)
+	}
+	if live[2].Sim != 36.5 {
+		t.Fatalf("handler event sim time lost: %+v", live[2])
+	}
+	// Watching a terminal job replays everything with no live tail.
+	replay, tail, off2, err := m.Watch("w1", 0)
+	if err != nil || tail != nil {
+		t.Fatalf("terminal watch: tail=%v err=%v", tail, err)
+	}
+	defer off2()
+	if len(replay) != 5 {
+		t.Fatalf("terminal replay %d events, want 5: %+v", len(replay), replay)
+	}
+}

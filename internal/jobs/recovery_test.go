@@ -1,0 +1,188 @@
+package jobs_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// seedRecord writes a record straight to the state directory, as a dead
+// daemon incarnation would have left it.
+func seedRecord(t *testing.T, dir string, r *jobs.Record) {
+	t.Helper()
+	s, err := jobs.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func hasEvent(rec jobs.Record, kind string) bool {
+	for _, ev := range rec.Events {
+		if ev.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRecoverPendingAtBoot(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Now()
+	seedRecord(t, dir, &jobs.Record{
+		ID: "p1", State: jobs.Pending, Directive: json.RawMessage(`{}`),
+		Submitted: now, Updated: now,
+		Events: []jobs.Event{{Seq: 1, Wall: now, Kind: jobs.EventSubmitted}},
+	})
+	m := startMgr(t, fastCfg(dir, okHandler(`"recovered"`)))
+	rec := waitState(t, m, "p1", jobs.Done)
+	if string(rec.Result) != `"recovered"` || rec.Interrupts != 0 {
+		t.Fatalf("recovered pending job: %+v", rec)
+	}
+}
+
+func TestStalePickedReclaimedAtBoot(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Now()
+	seedRecord(t, dir, &jobs.Record{
+		ID: "s1", State: jobs.Picked, Directive: json.RawMessage(`{}`),
+		Submitted: now.Add(-time.Minute), Updated: now.Add(-time.Minute),
+		Owner: "ghost-1234-dead", LeaseUntil: now.Add(-time.Second),
+		Attempts: 1,
+	})
+	m := startMgr(t, fastCfg(dir, okHandler(`"ok"`)))
+	rec := waitState(t, m, "s1", jobs.Done)
+	if !hasEvent(rec, jobs.EventReclaimed) {
+		t.Fatalf("no reclaimed event: %+v", rec.Events)
+	}
+	// The ghost's claim counted an attempt; the re-run counted another.
+	if rec.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", rec.Attempts)
+	}
+}
+
+func TestFreshLeaseWaitsForJanitor(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Now()
+	// The ghost's lease is still live at boot: the boot scan must leave the
+	// job alone, and only the janitor may reclaim it once the lease lapses.
+	seedRecord(t, dir, &jobs.Record{
+		ID: "f1", State: jobs.Picked, Directive: json.RawMessage(`{}`),
+		Submitted: now, Updated: now,
+		Owner: "ghost-1234-dead", LeaseUntil: now.Add(150 * time.Millisecond),
+		Attempts: 1,
+	})
+	m := startMgr(t, fastCfg(dir, okHandler(`"ok"`)))
+	rec, err := m.Get("f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != jobs.Picked || rec.Owner != "ghost-1234-dead" {
+		t.Fatalf("boot scan stole a live lease: %+v", rec)
+	}
+	rec = waitState(t, m, "f1", jobs.Done)
+	if !hasEvent(rec, jobs.EventReclaimed) {
+		t.Fatalf("no reclaimed event after lease lapse: %+v", rec.Events)
+	}
+}
+
+func TestRunningInterruptedAtBoot(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Now()
+	seedRecord(t, dir, &jobs.Record{
+		ID: "r1", State: jobs.Running, Directive: json.RawMessage(`{}`),
+		Submitted: now, Updated: now,
+		Owner: "ghost-1234-dead", LeaseUntil: now.Add(time.Minute),
+		Attempts: 1,
+	})
+	m := startMgr(t, fastCfg(dir, okHandler(`"rerun"`)))
+	rec := waitState(t, m, "r1", jobs.Done)
+	if rec.Interrupts != 1 {
+		t.Fatalf("interrupts = %d, want 1", rec.Interrupts)
+	}
+	if !hasEvent(rec, jobs.EventInterrupted) {
+		t.Fatalf("no interrupted event: %+v", rec.Events)
+	}
+	if string(rec.Result) != `"rerun"` {
+		t.Fatalf("result = %s", rec.Result)
+	}
+}
+
+// TestCrashMidRunRecovers is the kill-and-restart test at package level:
+// Abandon freezes the state directory exactly as kill -9 would (the
+// record is on disk as running, mid-attempt), and a second manager over
+// the same directory must recover and finish the job.
+func TestCrashMidRunRecovers(t *testing.T) {
+	dir := t.TempDir()
+	entered := make(chan struct{})
+	stall := make(chan struct{})
+	h1 := func(ctx context.Context, rec jobs.Record, emit func(jobs.Event)) (json.RawMessage, error) {
+		close(entered)
+		<-stall // never released: the "crash" happens first
+		return nil, ctx.Err()
+	}
+	m1, err := jobs.New(fastCfg(dir, h1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m1.Submit("crash-1", json.RawMessage(`{"kind":"evacuate"}`)); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	waitState(t, m1, "crash-1", jobs.Running)
+	m1.Abandon()
+	close(stall)
+
+	// The disk must show the job mid-run — the crash lost nothing, and
+	// persisted nothing after the fact.
+	s, _ := jobs.NewStore(dir)
+	onDisk, err := s.Load("crash-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.State != jobs.Running {
+		t.Fatalf("on-disk state after crash = %s, want running", onDisk.State)
+	}
+
+	m2 := startMgr(t, fastCfg(dir, okHandler(`{"report":"identical"}`)))
+	rec := waitState(t, m2, "crash-1", jobs.Done)
+	if rec.Interrupts != 1 {
+		t.Fatalf("interrupts = %d, want 1", rec.Interrupts)
+	}
+	if !hasEvent(rec, jobs.EventInterrupted) {
+		t.Fatalf("no interrupted event: %+v", rec.Events)
+	}
+	if string(rec.Directive) != `{"kind":"evacuate"}` {
+		t.Fatalf("directive lost across crash: %s", rec.Directive)
+	}
+	if string(rec.Result) != `{"report":"identical"}` {
+		t.Fatalf("result = %s", rec.Result)
+	}
+}
+
+func TestCorruptRecordDoesNotBrickBoot(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "mangled.json"), []byte(`{"id": "mangl`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	seedRecord(t, dir, &jobs.Record{
+		ID: "good", State: jobs.Pending, Directive: json.RawMessage(`{}`),
+		Submitted: now, Updated: now,
+	})
+	m := startMgr(t, fastCfg(dir, okHandler(`"ok"`)))
+	waitState(t, m, "good", jobs.Done)
+	if _, err := m.Get("mangled"); err == nil {
+		t.Fatal("corrupt record surfaced as a job")
+	}
+}

@@ -1,0 +1,160 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Store persists job records as one JSON file per job under a state
+// directory. Every save writes a temp file, fsyncs it and renames it over
+// the record, so a reader — including a daemon restarted after kill -9 —
+// only ever sees a complete record: either the pre-transition one or the
+// post-transition one, never a torn write.
+type Store struct{ dir string }
+
+// NewStore opens (creating if needed) the state directory.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("jobs: state directory not set")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: state dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the state directory path.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(id string) string { return filepath.Join(s.dir, id+".json") }
+
+// Save atomically persists the record.
+func (s *Store) Save(r *Record) error {
+	if !ValidID(r.ID) {
+		return fmt.Errorf("jobs: invalid job id %q", r.ID)
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("jobs: %s: marshal: %w", r.ID, err)
+	}
+	path := s.path(r.ID)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: %s: %w", r.ID, err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("jobs: %s: %w", r.ID, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("jobs: %s: sync: %w", r.ID, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobs: %s: %w", r.ID, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobs: %s: %w", r.ID, err)
+	}
+	// Durability of the rename itself: fsync the directory, best effort
+	// (some filesystems refuse; the rename is still atomic without it).
+	if d, err := os.Open(s.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Load reads one record. A missing file reports ErrNotFound.
+func (s *Store) Load(id string) (*Record, error) {
+	if !ValidID(id) {
+		return nil, fmt.Errorf("jobs: invalid job id %q", id)
+	}
+	data, err := os.ReadFile(s.path(id))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("jobs: %s: %w", id, ErrNotFound)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("jobs: %s: %w", id, err)
+	}
+	var r Record
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("jobs: %s: corrupt record: %w", id, err)
+	}
+	// The indented on-disk form re-indents embedded raw JSON; normalize it
+	// back to the compact form Submit stored, so byte comparisons (the
+	// idempotency check, result diffs) behave identically across a restart.
+	for _, raw := range []*json.RawMessage{&r.Directive, &r.Result} {
+		if len(*raw) == 0 {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, *raw); err != nil {
+			return nil, fmt.Errorf("jobs: %s: corrupt record: %w", id, err)
+		}
+		*raw = append((*raw)[:0], buf.Bytes()...)
+	}
+	return &r, nil
+}
+
+// LoadAll reads every record in the directory, sorted by submission time
+// then ID (the pick-up order). Leftover ".tmp" files from an interrupted
+// save are skipped and removed; corrupt records are skipped and reported
+// through skipped so a bad file cannot brick the daemon.
+func (s *Store) LoadAll() (recs []*Record, skipped []string, err error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobs: scan state dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(s.dir, name)) // torn write from a crash
+			continue
+		}
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".json")
+		r, lerr := s.Load(id)
+		if lerr != nil {
+			skipped = append(skipped, name)
+			continue
+		}
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if !recs[i].Submitted.Equal(recs[j].Submitted) {
+			return recs[i].Submitted.Before(recs[j].Submitted)
+		}
+		return recs[i].ID < recs[j].ID
+	})
+	return recs, skipped, nil
+}
+
+// Delete removes a record (no error if absent).
+func (s *Store) Delete(id string) error {
+	if !ValidID(id) {
+		return fmt.Errorf("jobs: invalid job id %q", id)
+	}
+	err := os.Remove(s.path(id))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}

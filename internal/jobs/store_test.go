@@ -1,0 +1,127 @@
+package jobs_test
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := jobs.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	r := &jobs.Record{
+		ID: "job-1", State: jobs.Pending,
+		Directive: json.RawMessage(`{"kind":"evacuate"}`),
+		Submitted: now, Updated: now, Attempts: 2,
+		Events: []jobs.Event{{Seq: 1, Wall: now, Kind: jobs.EventSubmitted}},
+	}
+	if err := s.Save(r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load("job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != jobs.Pending || got.Attempts != 2 || len(got.Events) != 1 {
+		t.Fatalf("round trip mangled record: %+v", got)
+	}
+	if string(got.Directive) != `{"kind":"evacuate"}` {
+		t.Fatalf("directive = %s", got.Directive)
+	}
+}
+
+func TestStoreLoadMissing(t *testing.T) {
+	s, _ := jobs.NewStore(t.TempDir())
+	if _, err := s.Load("nope"); !errors.Is(err, jobs.ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestStoreLoadAllOrderAndTmpCleanup(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := jobs.NewStore(dir)
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	for i, id := range []string{"c", "a", "b"} {
+		r := &jobs.Record{ID: id, State: jobs.Pending, Submitted: base.Add(time.Duration(2-i) * time.Second)}
+		if err := s.Save(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A torn write from a crash mid-save must be swept, and garbage must
+	// not break the scan.
+	if err := os.WriteFile(filepath.Join(dir, "torn.json.tmp"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, skipped, err := s.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0].ID != "b" || recs[1].ID != "a" || recs[2].ID != "c" {
+		t.Fatalf("wrong order: %v", ids(recs))
+	}
+	if len(skipped) != 1 || skipped[0] != "bad.json" {
+		t.Fatalf("skipped = %v", skipped)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "torn.json.tmp")); !os.IsNotExist(err) {
+		t.Fatal("torn tmp file not swept")
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	s, _ := jobs.NewStore(t.TempDir())
+	r := &jobs.Record{ID: "x", State: jobs.Done}
+	if err := s.Save(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("x"); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := s.Load("x"); !errors.Is(err, jobs.ErrNotFound) {
+		t.Fatalf("want ErrNotFound after delete, got %v", err)
+	}
+}
+
+func TestValidID(t *testing.T) {
+	for id, want := range map[string]bool{
+		"job-1":       true,
+		"A.b_c-9":     true,
+		"":            false,
+		"-leading":    false,
+		".hidden":     false,
+		"has space":   false,
+		"path/../etc": false,
+	} {
+		if got := jobs.ValidID(id); got != want {
+			t.Errorf("ValidID(%q) = %v, want %v", id, got, want)
+		}
+	}
+	long := make([]byte, 65)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if jobs.ValidID(string(long)) {
+		t.Error("65-char id accepted")
+	}
+}
+
+func ids(recs []*jobs.Record) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.ID
+	}
+	return out
+}

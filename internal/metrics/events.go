@@ -50,13 +50,14 @@ const (
 	EventDeadlineMiss EventKind = "deadline-miss"
 )
 
-// Event is one timestamped orchestration event.
+// Event is one timestamped orchestration event. The JSON form is what the
+// ninjad control plane streams over its /jobs/{id}/events endpoint.
 type Event struct {
-	At      sim.Time
-	Kind    EventKind
-	Phase   string // orchestration phase ("detach", "migration", ...)
-	Subject string // VM / node / device name, when applicable
-	Detail  string
+	At      sim.Time  `json:"at"`
+	Kind    EventKind `json:"kind"`
+	Phase   string    `json:"phase,omitempty"`   // orchestration phase ("detach", "migration", ...)
+	Subject string    `json:"subject,omitempty"` // VM / node / device name, when applicable
+	Detail  string    `json:"detail,omitempty"`
 }
 
 // String renders "t=12.00s detach retry vm00: ...".
@@ -74,6 +75,7 @@ func (e Event) String() string {
 // EventLog is an append-only, simulation-clocked event recorder.
 type EventLog struct {
 	now    func() sim.Time
+	notify func(Event)
 	events []Event
 }
 
@@ -82,11 +84,18 @@ func NewEventLog(now func() sim.Time) *EventLog {
 	return &EventLog{now: now}
 }
 
+// SetNotify installs an observer called synchronously with every event as
+// it is recorded (nil disables). The control-plane daemon uses this to
+// stream a directive's trail live instead of waiting for the final report.
+func (l *EventLog) SetNotify(fn func(Event)) { l.notify = fn }
+
 // Record appends an event at the current simulated time.
 func (l *EventLog) Record(kind EventKind, phase, subject, detail string) {
-	l.events = append(l.events, Event{
-		At: l.now(), Kind: kind, Phase: phase, Subject: subject, Detail: detail,
-	})
+	ev := Event{At: l.now(), Kind: kind, Phase: phase, Subject: subject, Detail: detail}
+	l.events = append(l.events, ev)
+	if l.notify != nil {
+		l.notify(ev)
+	}
 }
 
 // Len returns the number of recorded events.

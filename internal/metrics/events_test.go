@@ -42,3 +42,25 @@ func TestEventLogRecordAndQuery(t *testing.T) {
 		t.Fatalf("log String() missing last event: %q", l.String())
 	}
 }
+
+func TestEventLogSetNotify(t *testing.T) {
+	now := sim.Time(0)
+	l := NewEventLog(func() sim.Time { return now })
+	var seen []Event
+	l.SetNotify(func(ev Event) { seen = append(seen, ev) })
+
+	now = 2 * sim.Second
+	l.Record(EventRetry, "migration", "vm01", "attempt 1")
+	if len(seen) != 1 || seen[0].Kind != EventRetry || seen[0].At != 2*sim.Second {
+		t.Fatalf("notify saw %+v, want the recorded retry event", seen)
+	}
+	// The log itself still accumulates — notify is a tap, not a redirect.
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+	l.SetNotify(nil)
+	l.Record(EventRetryOK, "migration", "vm01", "attempt 1 succeeded")
+	if len(seen) != 1 {
+		t.Fatalf("notify fired after being cleared: %+v", seen)
+	}
+}

@@ -179,7 +179,8 @@ type Kernel struct {
 	yield     chan struct{} // procs signal here when they park or exit
 	procs     map[*Proc]struct{}
 	running   bool
-	failure   any // first panic propagated from a proc
+	stopReq   bool // cooperative Stop() requested; consumed by RunUntil
+	failure   any  // first panic propagated from a proc
 	trace     Logger
 	closed    bool
 }
@@ -266,6 +267,15 @@ func (k *Kernel) ScheduleAt(at Time, fn func()) Event {
 // simulated time. If any process panicked, Run re-panics with that value.
 func (k *Kernel) Run() Time { return k.RunUntil(MaxTime) }
 
+// Stop makes the in-flight Run/RunUntil return once the current event's
+// callback completes, leaving the clock at the last executed event and
+// every later event queued. It is the cooperative cancellation point for
+// drivers that must abandon a long simulation cleanly (e.g. on SIGINT):
+// call it from an event callback or process body, let Run return, then
+// Close to unwind parked processes. A pending stop request is consumed by
+// the next Run/RunUntil if none is in flight.
+func (k *Kernel) Stop() { k.stopReq = true }
+
 // RunUntil executes events with fire times <= deadline, then sets the clock
 // to min(deadline, time of last executed event). Events after deadline stay
 // queued; a later RunUntil call continues from where this one stopped.
@@ -276,6 +286,10 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 	k.running = true
 	defer func() { k.running = false }()
 	for {
+		if k.stopReq {
+			k.stopReq = false
+			return k.now
+		}
 		ev := k.q.pop(deadline)
 		if ev == nil {
 			break

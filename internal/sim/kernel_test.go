@@ -344,3 +344,41 @@ func TestEventOrderProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestStopHaltsRunAtCurrentTime(t *testing.T) {
+	k := NewKernel()
+	var fired []int
+	k.Schedule(1*Second, func() { fired = append(fired, 1) })
+	k.Schedule(2*Second, func() {
+		fired = append(fired, 2)
+		k.Stop()
+	})
+	k.Schedule(3*Second, func() { fired = append(fired, 3) })
+	end := k.Run()
+	if end != 2*Second {
+		t.Fatalf("stopped at %v, want 2s", end)
+	}
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 2 {
+		t.Fatalf("fired = %v, want [1 2]", fired)
+	}
+	// Stop is consumed: a later Run proceeds normally from where it left
+	// off, delivering the remaining event.
+	end = k.Run()
+	if end != 3*Second || len(fired) != 3 || fired[2] != 3 {
+		t.Fatalf("resume: end=%v fired=%v", end, fired)
+	}
+}
+
+func TestStopDoesNotPerturbRunUntilClock(t *testing.T) {
+	// An uninterrupted RunUntil advances the clock to the deadline when the
+	// queue drains; a Stop must freeze it at the last delivered event so a
+	// resumed simulation stays bit-identical with an uninterrupted one.
+	k := NewKernel()
+	k.Schedule(1*Second, func() { k.Stop() })
+	if end := k.RunUntil(10 * Second); end != 1*Second {
+		t.Fatalf("stopped RunUntil returned %v, want 1s", end)
+	}
+	if end := k.RunUntil(10 * Second); end != 10*Second {
+		t.Fatalf("resumed RunUntil returned %v, want 10s", end)
+	}
+}

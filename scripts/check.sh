@@ -21,3 +21,7 @@ go run ./cmd/ninjabench -run=ext-fleet -fleet-jobs=3 -fleet-drain-cap=2 -kernel=
 # Bench-regression smoke: deterministic sim-* metrics vs the committed
 # baseline (full sweep: scripts/bench.sh).
 sh scripts/bench.sh --smoke >/dev/null
+# ninjad crash-recovery smoke: submit a directive, kill -9 the daemon
+# mid-lifecycle, restart it on the same state directory, and verify the
+# job still completes — then drain cleanly on SIGTERM.
+sh scripts/ninjad-smoke.sh

@@ -1,0 +1,84 @@
+#!/bin/sh
+# ninjad crash-recovery smoke: start the daemon, submit an evacuation,
+# kill -9 the process, restart it on the same state directory, and verify
+# the accepted directive still runs to completion — no job lost. Finish
+# with a SIGTERM drain to prove clean shutdown. Run from anywhere inside
+# the repository.
+set -eu
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+BIN="$TMP/ninjad"
+STATE="$TMP/state"
+ADDRFILE="$TMP/addr"
+NINJAD_PID=""
+cleanup() {
+    [ -n "$NINJAD_PID" ] && kill -9 "$NINJAD_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$BIN" ./cmd/ninjad
+
+wait_addr() {
+    i=0
+    while [ ! -s "$ADDRFILE" ]; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && { echo "ninjad-smoke: daemon never bound" >&2; exit 1; }
+        sleep 0.1
+    done
+    ADDR=$(cat "$ADDRFILE")
+}
+
+wait_done() {
+    # $1 = job id; polls until the job is terminal, fails unless done.
+    i=0
+    while :; do
+        state=$(curl -sf "http://$ADDR/jobs/$1" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p')
+        case "$state" in
+        done) return 0 ;;
+        failed | cancelled)
+            echo "ninjad-smoke: job $1 ended $state" >&2
+            curl -sf "http://$ADDR/jobs/$1" >&2
+            exit 1
+            ;;
+        esac
+        i=$((i + 1))
+        [ "$i" -gt 300 ] && { echo "ninjad-smoke: job $1 stuck in '$state'" >&2; exit 1; }
+        sleep 0.1
+    done
+}
+
+# First incarnation: accept the directive, then die without warning.
+"$BIN" -addr 127.0.0.1:0 -addr-file "$ADDRFILE" -state-dir "$STATE" >"$TMP/log1" 2>&1 &
+NINJAD_PID=$!
+wait_addr
+curl -sf -d '{"id":"smoke-evac","directive":{"kind":"evacuate","placement":"swap","batched":true,"cap":4,"jobs":2,"vms_per_job":1}}' \
+    "http://$ADDR/jobs" >/dev/null
+kill -9 "$NINJAD_PID"
+wait "$NINJAD_PID" 2>/dev/null || true
+NINJAD_PID=""
+[ -f "$STATE/smoke-evac.json" ] || { echo "ninjad-smoke: accepted job not on disk after kill -9" >&2; exit 1; }
+
+# Second incarnation on the same state directory: the job must recover
+# and complete, whatever lifecycle state the crash caught it in.
+rm -f "$ADDRFILE"
+"$BIN" -addr 127.0.0.1:0 -addr-file "$ADDRFILE" -state-dir "$STATE" >"$TMP/log2" 2>&1 &
+NINJAD_PID=$!
+wait_addr
+wait_done smoke-evac
+curl -sf "http://$ADDR/jobs/smoke-evac/events" | grep -q '"kind": *"done"' ||
+    { echo "ninjad-smoke: event trail missing terminal mark" >&2; exit 1; }
+
+# Clean SIGTERM drain.
+kill -TERM "$NINJAD_PID"
+i=0
+while kill -0 "$NINJAD_PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "ninjad-smoke: daemon ignored SIGTERM" >&2; exit 1; }
+    sleep 0.1
+done
+wait "$NINJAD_PID" 2>/dev/null || { echo "ninjad-smoke: drain exited nonzero" >&2; exit 1; }
+NINJAD_PID=""
+grep -q "drained cleanly" "$TMP/log2" || { echo "ninjad-smoke: no clean-drain log line" >&2; exit 1; }
+echo "ninjad-smoke: ok (accepted directive survived kill -9 and completed after restart)"
