@@ -8,6 +8,7 @@
 package repro
 
 import (
+	"context"
 	"os"
 	"runtime"
 	"testing"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/ninja"
 	"repro/internal/sim"
+	"repro/internal/simfarm"
 	"repro/internal/vmm"
 	"repro/internal/workloads"
 )
@@ -431,6 +433,32 @@ func fleetScaleBench(b *testing.B, jobs int) {
 func BenchmarkFleetScale8(b *testing.B)   { fleetScaleBench(b, 8) }
 func BenchmarkFleetScale32(b *testing.B)  { fleetScaleBench(b, 32) }
 func BenchmarkFleetScale128(b *testing.B) { fleetScaleBench(b, 128) }
+
+// BenchmarkFarmSweep runs a small Monte Carlo sweep (3 directives × 3
+// fault plans × 2 seeds, 2-job fleets) through the simfarm worker pool and
+// reports the per-row p50 makespans plus the failure count as farm-*
+// metrics. These are percentiles of seeded simulations — deterministic at
+// any worker count — so benchdiff gates them at the same 1e-6 tolerance as
+// the sim-* family. Wall-clock throughput is reported ungated (runs/sec).
+func BenchmarkFarmSweep(b *testing.B) {
+	m := simfarm.DefaultMatrix(2, 2)
+	var res *simfarm.Result
+	for i := 0; i < b.N; i++ {
+		f, err := simfarm.New(m, simfarm.Options{Parallelism: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = f.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range res.Summary.Rows {
+		b.ReportMetric(r.Makespan.P50, "farm-p50-"+r.Directive+"-"+r.Plan+"-s")
+	}
+	b.ReportMetric(float64(res.Summary.Failures), "farm-failures")
+	b.ReportMetric(res.Wall.RunsPerSec, "runs/sec")
+}
 
 // TestFleetScalePerfGuard asserts the tentpole acceptance criterion —
 // the wheel backend executes >=2x the events/sec of the heap backend with

@@ -1,8 +1,9 @@
 // Command benchdiff guards the simulated-result benchmark metrics against
 // drift. It reads `go test -bench` output on stdin, extracts every custom
 // metric whose unit starts with "sim-" (simulated seconds / bandwidths —
-// deterministic observables, unlike wall-clock ns/op), and compares them
-// against a committed baseline.
+// deterministic observables, unlike wall-clock ns/op) or "farm-" (Monte
+// Carlo sweep aggregates — percentiles over seeded runs, equally
+// deterministic), and compares them against a committed baseline.
 //
 // Usage:
 //
@@ -44,7 +45,7 @@ func main() {
 		fatal("%v", err)
 	}
 	if len(observed) == 0 {
-		fatal("no sim-* metrics found on stdin (pipe `go test -bench` output in)")
+		fatal("no sim-*/farm-* metrics found on stdin (pipe `go test -bench` output in)")
 	}
 
 	if *write != "" {
@@ -94,11 +95,12 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchdiff: %d sim metric(s) match %s (tol %g)\n", len(observed), *baseline, *tol)
+	fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) match %s (tol %g)\n", len(observed), *baseline, *tol)
 }
 
-// parseBench extracts "value sim-*" metric pairs from go-test benchmark
-// output, keyed by "BenchName/unit" with any -GOMAXPROCS suffix stripped.
+// parseBench extracts "value sim-*" / "value farm-*" metric pairs from
+// go-test benchmark output, keyed by "BenchName/unit" with any -GOMAXPROCS
+// suffix stripped.
 func parseBench(f *os.File) (map[string]float64, error) {
 	out := map[string]float64{}
 	sc := bufio.NewScanner(f)
@@ -117,7 +119,7 @@ func parseBench(f *os.File) (map[string]float64, error) {
 		// fields[1] is the iteration count; after that, (value, unit) pairs.
 		for i := 2; i+1 < len(fields); i += 2 {
 			unit := fields[i+1]
-			if !strings.HasPrefix(unit, "sim-") {
+			if !strings.HasPrefix(unit, "sim-") && !strings.HasPrefix(unit, "farm-") {
 				continue
 			}
 			v, err := strconv.ParseFloat(fields[i], 64)

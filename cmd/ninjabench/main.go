@@ -8,12 +8,15 @@
 //	ninjabench -run=fig7 -scale=0.25
 //	ninjabench -run=fig8a,fig8b
 //	ninjabench -run=ext-fleet -fleet-jobs=4
+//	ninjabench -run=ext-sweep -sweep-seeds=32             # Monte Carlo fault sweep
+//	ninjabench -run=ext-sweep -sweep-par=8 -sweep-jobs=2  # fixed worker count
 //	ninjabench -run=table2,ext-fleet -json results.json
 //	ninjabench -scale-jobs=128                      # kernel scale sweep, both backends
 //	ninjabench -run=ext-fleet -kernel=wheel -cpuprofile fleet.pprof
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -30,6 +33,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/simfarm"
 )
 
 // main delegates to run so deferred profile writers and the partial -json
@@ -44,10 +48,13 @@ func main() {
 // Ctrl-C finishes the block in flight, flushes whatever tables completed
 // (including a partial -json dump), and exits 130.
 func run(ctx context.Context) int {
-	run := flag.String("run", "all", "comma-separated: table1,table2,fig6,fig7,fig8a,fig8b,ext-faults,ext-fleet or 'all'")
+	run := flag.String("run", "all", "comma-separated: table1,table2,fig6,fig7,fig8a,fig8b,ext-faults,ext-fleet,ext-sweep or 'all'")
 	scale := flag.Float64("scale", 1.0, "iteration scale for fig7 (1.0 = full class D)")
 	fleetJobs := flag.Int("fleet-jobs", 0, "fleet size for ext-fleet (0 = default 8-job evacuation)")
 	drainCap := flag.Int("fleet-drain-cap", 0, "jobs-in-flight cap per rolling-maintenance mini-plan (0 = default 2)")
+	sweepSeeds := flag.Int("sweep-seeds", 32, "seeds per matrix row for ext-sweep")
+	sweepPar := flag.Int("sweep-par", 0, "worker count for ext-sweep (0 = run at 1 and 8, verify byte-identical summaries, report speedup)")
+	sweepJobs := flag.Int("sweep-jobs", 0, "fleet size per ext-sweep cell (0 = default 4 jobs)")
 	jsonPath := flag.String("json", "", "also write the selected tables to this file as JSON")
 	kernel := flag.String("kernel", "", "kernel event-queue backend for ext-fleet: heap (default) or wheel")
 	scaleJobs := flag.Int("scale-jobs", 0, "run the synthetic fleet-scale kernel sweep up to this many jobs on both backends")
@@ -122,7 +129,8 @@ func run(ctx context.Context) int {
 		// sweep only
 	case *run == "all":
 		for _, id := range []string{"table1", "table2", "fig6", "fig7", "fig8a", "fig8b",
-			"ext-scalability", "ext-coldvslive", "ext-bypass", "ext-faults", "ext-fleet"} {
+			"ext-scalability", "ext-coldvslive", "ext-bypass", "ext-faults", "ext-fleet",
+			"ext-sweep"} {
 			want[id] = true
 		}
 	default:
@@ -219,6 +227,16 @@ func run(ctx context.Context) int {
 		emit(experiments.ExtFleetRender(rows))
 	}
 
+	if want["ext-sweep"] && ctx.Err() == nil {
+		tbl, err := runSweep(ctx, *sweepJobs, *sweepSeeds, *sweepPar)
+		if err != nil && !errors.Is(err, context.Canceled) {
+			fail("ext-sweep", err)
+		}
+		if tbl != nil {
+			emit(tbl)
+		}
+	}
+
 	if *jsonPath != "" {
 		out, err := json.MarshalIndent(tables, "", "  ")
 		if err != nil {
@@ -234,6 +252,55 @@ func run(ctx context.Context) int {
 		return 130
 	}
 	return 0
+}
+
+// runSweep runs the default Monte Carlo matrix. With par > 0 it runs once
+// at that worker count; with par = 0 it runs the same matrix at
+// parallelism 1 and 8, verifies the two summaries are byte-identical (the
+// farm's core determinism claim), and reports the wall-clock speedup.
+func runSweep(ctx context.Context, jobs, seeds, par int) (*metrics.Table, error) {
+	m := simfarm.DefaultMatrix(jobs, seeds)
+	fmt.Printf("ext-sweep: %d directive(s) × %d plan(s) × %d seed(s) = %d run(s)\n",
+		len(m.Directives), len(m.Plans), m.Seeds.Count, m.Runs())
+
+	runOnce := func(par int) (*simfarm.Result, error) {
+		f, err := simfarm.New(m, simfarm.Options{Parallelism: par})
+		if err != nil {
+			return nil, err
+		}
+		res, err := f.Run(ctx)
+		if res != nil {
+			fmt.Printf("ext-sweep: parallelism %d: %d run(s) in %.2fs (%.0f runs/sec)\n",
+				res.Wall.Parallelism, res.Summary.Runs, res.Wall.Elapsed.Seconds(), res.Wall.RunsPerSec)
+		}
+		return res, err
+	}
+
+	if par > 0 {
+		res, err := runOnce(par)
+		if res == nil {
+			return nil, err
+		}
+		return res.Summary.Render(), err
+	}
+
+	seq, err := runOnce(1)
+	if seq == nil || err != nil {
+		if seq != nil {
+			return seq.Summary.Render(), err
+		}
+		return nil, err
+	}
+	pool, err := runOnce(8)
+	if pool == nil {
+		return seq.Summary.Render(), err
+	}
+	if a, b := seq.Summary.JSON(), pool.Summary.JSON(); !bytes.Equal(a, b) {
+		return nil, fmt.Errorf("summaries differ between parallelism 1 and 8 — determinism contract broken:\n%s\nvs\n%s", a, b)
+	}
+	fmt.Printf("ext-sweep: summaries byte-identical at parallelism 1 and 8; speedup %.2fx (wall-clock, %d CPU(s))\n",
+		seq.Wall.Elapsed.Seconds()/pool.Wall.Elapsed.Seconds(), runtime.NumCPU())
+	return pool.Summary.Render(), err
 }
 
 // scaleSweep runs FleetScaleSim at doubling fleet sizes up to maxJobs and

@@ -10,6 +10,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/jobs"
 	"repro/internal/metrics"
+	"repro/internal/simfarm"
 )
 
 // DirectiveSpec is the wire form of a fleet directive: the JSON body of
@@ -18,9 +19,11 @@ import (
 // pure function of this spec, which is what makes re-executing an
 // interrupted job after a crash converge on the identical report.
 type DirectiveSpec struct {
-	// Kind is "evacuate" (default) or "rolling-maintenance".
-	// "consolidate" is rejected: the ninjad testbed boots one VM per
-	// source node, so there is no packing headroom to consolidate into.
+	// Kind is "evacuate" (default), "rolling-maintenance", or "sweep" — a
+	// Monte Carlo fault sweep over the default simfarm matrix, sized by
+	// jobs/seeds/seed_base/parallelism below. "consolidate" is rejected:
+	// the ninjad testbed boots one VM per source node, so there is no
+	// packing headroom to consolidate into.
 	Kind string `json:"kind,omitempty"`
 	// Placement is "greedy" (default) or "swap".
 	Placement string `json:"placement,omitempty"`
@@ -37,9 +40,18 @@ type DirectiveSpec struct {
 	// forces job00 into a rollback-in-place re-queue.
 	Faulted        bool `json:"faulted,omitempty"`
 	ForcedRollback bool `json:"forced_rollback,omitempty"`
-	// Jobs / VMsPerJob size the fleet (defaults 8 × 2).
+	// Jobs / VMsPerJob size the fleet (defaults 8 × 2; for a sweep, Jobs
+	// sizes each cell's fleet and defaults to 4).
 	Jobs      int `json:"jobs,omitempty"`
 	VMsPerJob int `json:"vms_per_job,omitempty"`
+	// Seeds / SeedBase / Parallelism apply to kind "sweep" only: seeds per
+	// matrix row (0 = 16), first seed (0 = 1), and worker count (0 =
+	// GOMAXPROCS). Parallelism affects wall-clock only — the committed
+	// result is byte-identical at any worker count, which is what lets a
+	// crashed sweep job re-execute and converge on the identical record.
+	Seeds       int   `json:"seeds,omitempty"`
+	SeedBase    int64 `json:"seed_base,omitempty"`
+	Parallelism int   `json:"parallelism,omitempty"`
 }
 
 // parseSpec decodes and validates a directive body. Unknown fields are
@@ -53,10 +65,21 @@ func parseSpec(raw json.RawMessage) (DirectiveSpec, error) {
 	}
 	switch spec.Kind {
 	case "", "evacuate", "rolling-maintenance":
+		if spec.Seeds != 0 || spec.SeedBase != 0 || spec.Parallelism != 0 {
+			return spec, fmt.Errorf("directive: seeds/seed_base/parallelism apply to kind \"sweep\" only")
+		}
+	case "sweep":
+		if spec.Placement != "" || spec.Batched || spec.Cap != 0 || spec.MaxInFlight != 0 ||
+			spec.ReturnHome || spec.Faulted || spec.ForcedRollback || spec.VMsPerJob != 0 {
+			return spec, fmt.Errorf("directive: a sweep runs the built-in directive × fault-plan matrix; only jobs, seeds, seed_base and parallelism apply")
+		}
+		if spec.Seeds < 0 || spec.SeedBase < 0 || spec.Parallelism < 0 {
+			return spec, fmt.Errorf("directive: negative counts are not valid")
+		}
 	case "consolidate":
 		return spec, fmt.Errorf("directive: kind %q not supported: the ninjad testbed has no packing headroom (one VM per source node)", spec.Kind)
 	default:
-		return spec, fmt.Errorf("directive: unknown kind %q (want evacuate or rolling-maintenance)", spec.Kind)
+		return spec, fmt.Errorf("directive: unknown kind %q (want evacuate, rolling-maintenance or sweep)", spec.Kind)
 	}
 	switch spec.Placement {
 	case "", "greedy", "swap":
@@ -138,6 +161,9 @@ func runDirective(ctx context.Context, rec jobs.Record, emit func(jobs.Event)) (
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if spec.Kind == "sweep" {
+		return runSweepDirective(ctx, spec, emit)
+	}
 	cfg, sc := spec.scenario()
 	res, err := experiments.RunFleetScenarioWith(cfg, sc, func(ev metrics.Event) {
 		emit(jobs.Event{
@@ -182,4 +208,32 @@ func runDirective(ctx context.Context, rec jobs.Record, emit func(jobs.Event)) (
 		out.PerJob = append(out.PerJob, oj)
 	}
 	return json.Marshal(out)
+}
+
+// runSweepDirective runs a durable Monte Carlo sweep job: the default
+// simfarm matrix sized by the spec, with per-cell progress streamed into
+// the job's event log and only the deterministic Summary committed as the
+// result (wall-clock stats stay out, preserving the crash-re-execution
+// byte-identity guarantee).
+func runSweepDirective(ctx context.Context, spec DirectiveSpec, emit func(jobs.Event)) (json.RawMessage, error) {
+	m := simfarm.DefaultMatrix(spec.Jobs, spec.Seeds)
+	m.Seeds.Base = spec.SeedBase
+	f, err := simfarm.New(m, simfarm.Options{Parallelism: spec.Parallelism})
+	if err != nil {
+		return nil, err
+	}
+	f.Events().SetNotify(func(ev metrics.Event) {
+		emit(jobs.Event{
+			Kind:    string(ev.Kind),
+			Phase:   ev.Phase,
+			Subject: ev.Subject,
+			Detail:  ev.Detail,
+			Sim:     ev.At.Seconds(),
+		})
+	})
+	res, err := f.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(res.Summary)
 }

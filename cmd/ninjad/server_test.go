@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/metrics"
+	"repro/internal/simfarm"
 )
 
 // smallSpec is a 2-job, 1-VM-per-job evacuation: the smallest fleet the
@@ -158,6 +160,9 @@ func TestSubmitRejectsBadDirectives(t *testing.T) {
 		"consolidate":   `{"directive":{"kind":"consolidate"}}`,
 		"unknown field": `{"directive":{"placment":"swap"}}`,
 		"rolling+home":  `{"directive":{"kind":"rolling-maintenance","return_home":true}}`,
+		"sweep+policy":  `{"directive":{"kind":"sweep","placement":"swap"}}`,
+		"sweep-seeds<0": `{"directive":{"kind":"sweep","seeds":-1}}`,
+		"evac+seeds":    `{"directive":{"kind":"evacuate","seeds":4}}`,
 	} {
 		code, resp := httpJSON(t, "POST", base+"/jobs", body)
 		if code != http.StatusBadRequest {
@@ -215,6 +220,44 @@ func TestEventsEndpointStreamsTrail(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
 	if len(lines) != 1 || !strings.Contains(lines[0], `"done"`) {
 		t.Fatalf("since=%d returned %q", n-1, lines)
+	}
+}
+
+// A sweep job runs the Monte Carlo matrix end to end: the committed
+// result is the deterministic simfarm Summary and the trail carries
+// per-cell progress events.
+func TestSweepDirectiveOverHTTP(t *testing.T) {
+	d := startDaemon(t, t.TempDir())
+	base := "http://" + d.addr()
+
+	code, body := httpJSON(t, "POST", base+"/jobs",
+		`{"id":"sweep-1","directive":{"kind":"sweep","jobs":2,"seeds":2,"parallelism":4}}`)
+	if code != http.StatusCreated {
+		t.Fatalf("submit = %d: %s", code, body)
+	}
+	rec := waitDone(t, d, "sweep-1")
+
+	var sum simfarm.Summary
+	if err := json.Unmarshal(rec.Result, &sum); err != nil {
+		t.Fatalf("result not a simfarm.Summary: %v: %s", err, rec.Result)
+	}
+	if sum.Directives != 3 || sum.Plans != 3 || sum.Seeds != 2 {
+		t.Fatalf("matrix shape = %d×%d×%d, want 3×3×2", sum.Directives, sum.Plans, sum.Seeds)
+	}
+	if sum.Runs != 18 || sum.Failures != 0 || len(sum.Rows) != 9 {
+		t.Fatalf("runs/failures/rows = %d/%d/%d: %s", sum.Runs, sum.Failures, len(sum.Rows), rec.Result)
+	}
+	cells, rows := 0, 0
+	for _, ev := range rec.Events {
+		switch ev.Kind {
+		case string(metrics.EventSweepCell):
+			cells++
+		case string(metrics.EventSweepRow):
+			rows++
+		}
+	}
+	if cells != 18 || rows != 9 {
+		t.Fatalf("trail carried %d sweep-cell / %d sweep-row events, want 18/9", cells, rows)
 	}
 }
 

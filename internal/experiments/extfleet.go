@@ -89,6 +89,40 @@ func (cfg FleetConfig) withDefaults() FleetConfig {
 	return cfg
 }
 
+// shape returns the deployment's VM count and the dc1 IB-destination node
+// count for a defaulted config — the single source of truth shared by
+// DeployFleet and FleetVictims.
+func (cfg FleetConfig) shape() (nVMs, ibDst int) {
+	nVMs = cfg.Jobs * cfg.VMsPerJob
+	ibDst = nVMs / 2
+	if ibDst < cfg.VMsPerJob {
+		ibDst = cfg.VMsPerJob // room for at least one gang on IB
+	}
+	return nVMs, ibDst
+}
+
+// FleetVictims returns the deterministic fault-victim name lists of the
+// deployment DeployFleet(cfg) would boot, without booting anything: every
+// fleet VM ("j00v00", ...) and every destination node (the dc1 IB nodes
+// and the dc2 Ethernet nodes, in site order). Monte Carlo sweeps draw
+// seeded victims from these lists before a cell's testbed exists.
+func FleetVictims(cfg FleetConfig) (vms, dstNodes []string) {
+	cfg = cfg.withDefaults()
+	nVMs, ibDst := cfg.shape()
+	for j := 0; j < cfg.Jobs; j++ {
+		for v := 0; v < cfg.VMsPerJob; v++ {
+			vms = append(vms, fmt.Sprintf("j%02dv%02d", j, v))
+		}
+	}
+	for i := 0; i < ibDst; i++ {
+		dstNodes = append(dstNodes, fmt.Sprintf("dc1-n%02d", i))
+	}
+	for i := 0; i < nVMs; i++ {
+		dstNodes = append(dstNodes, fmt.Sprintf("dc2-n%02d", i))
+	}
+	return vms, dstNodes
+}
+
 // FleetDeployment is a three-site testbed under fleet control: dc0 is the
 // IB source hosting every job, dc1 a smaller IB destination (plus spare
 // nodes feeding the shared pool), dc2 an Ethernet destination big enough
@@ -122,11 +156,7 @@ func (d *FleetDeployment) VMs() []*vmm.VM {
 // iterating applications.
 func DeployFleet(cfg FleetConfig) (*FleetDeployment, error) {
 	cfg = cfg.withDefaults()
-	nVMs := cfg.Jobs * cfg.VMsPerJob
-	ibDst := nVMs / 2
-	if ibDst < cfg.VMsPerJob {
-		ibDst = cfg.VMsPerJob // room for at least one gang on IB
-	}
+	nVMs, ibDst := cfg.shape()
 	ethSpec := hw.AGCNodeSpec
 	ethSpec.IBBandwidth = 0
 	k := sim.NewKernelWith(sim.Options{Backend: cfg.Backend})
@@ -232,6 +262,13 @@ type FleetScenario struct {
 	// until its ninja retry budget is spent, forcing a rollback-in-place
 	// the executor must re-queue into a fresh batch.
 	ForcedRollback bool
+	// ExtraFaults, when non-nil, is an additional fault plan armed over
+	// the whole deployment (every fleet VM, every node of every site, and
+	// the shared NFS) with spec At times relative to the directive
+	// trigger. This is the Monte Carlo sweep hook: simfarm materializes a
+	// seeded plan per cell and injects it here. The plan's own Seed drives
+	// any empty-target victim selection inside the faults package.
+	ExtraFaults *faults.Plan
 }
 
 // Label renders "swap/batched(cap=4)"-style identifiers.
@@ -250,6 +287,9 @@ func (sc FleetScenario) Label() string {
 	}
 	if sc.ForcedRollback {
 		l += "+rollback"
+	}
+	if sc.ExtraFaults != nil && sc.ExtraFaults.Name != "" {
+		l += "+plan:" + sc.ExtraFaults.Name
 	}
 	return l
 }
@@ -302,6 +342,11 @@ func RunFleetScenarioWith(cfg FleetConfig, sc FleetScenario, sink func(metrics.E
 	if err != nil {
 		return nil, err
 	}
+	// Unwind parked processes (wedged apps, abandoned waiters) on every
+	// exit path: a Monte Carlo sweep runs hundreds of scenarios in one
+	// process, and each leaked proc goroutine would otherwise outlive its
+	// run. Close is a no-op on the happy path where everything exited.
+	defer d.K.Close()
 	trigger := d.Epoch + 5*sim.Second
 	deadline := trigger + 400*sim.Second
 	switch {
@@ -365,6 +410,26 @@ func RunFleetScenarioWith(cfg FleetConfig, sc FleetScenario, sink func(metrics.E
 		inj := faults.NewInjector(d.K, faults.Plan{
 			Name: "fleet-site-outage", Seed: 1, Specs: specs,
 		}, faults.Env{Nodes: d.Source.Nodes, Log: logInjection})
+		if err := inj.Arm(); err != nil {
+			return nil, err
+		}
+	}
+	if sc.ExtraFaults != nil {
+		// The sweep hook: shift the plan's trigger-relative times to
+		// absolute simulated time and arm it over the whole deployment.
+		plan := faults.Plan{Name: sc.ExtraFaults.Name, Seed: sc.ExtraFaults.Seed}
+		for _, s := range sc.ExtraFaults.Specs {
+			s.At += trigger
+			plan.Specs = append(plan.Specs, s)
+		}
+		var nodes []*hw.Node
+		for _, s := range d.Topo.Sites {
+			nodes = append(nodes, s.Nodes...)
+		}
+		nodes = append(nodes, d.SpareNodes...)
+		inj := faults.NewInjector(d.K, plan, faults.Env{
+			VMs: d.VMs(), Nodes: nodes, Store: d.NFS, Log: logInjection,
+		})
 		if err := inj.Arm(); err != nil {
 			return nil, err
 		}

@@ -104,9 +104,9 @@ func (in *Injector) Arm() error {
 				return err
 			}
 			in.schedule(s.At, func() {
-				for name, h := range hcas {
-					h.InjectTrainingStall(s.stall())
-					in.log(s.Kind, name, fmt.Sprintf("next training stalls +%v", s.stall()))
+				for _, t := range hcas {
+					t.hca.InjectTrainingStall(s.stall())
+					in.log(s.Kind, t.name, fmt.Sprintf("next training stalls +%v", s.stall()))
 				}
 			})
 
@@ -116,9 +116,9 @@ func (in *Injector) Arm() error {
 				return err
 			}
 			in.schedule(s.At, func() {
-				for name, h := range hcas {
-					h.Flap()
-					in.log(s.Kind, name, "port bounced; retraining")
+				for _, t := range hcas {
+					t.hca.Flap()
+					in.log(s.Kind, t.name, "port bounced; retraining")
 				}
 			})
 
@@ -161,8 +161,16 @@ func (in *Injector) Arm() error {
 			return fmt.Errorf("faults: unknown kind %q", s.Kind)
 		}
 	}
-	for vm, specs := range hooked {
-		in.installHooks(vm, specs)
+	// Install in name order: map iteration order must never reach the
+	// simulation (hook installation is order-insensitive today, but a
+	// sorted walk keeps any future cross-VM bookkeeping deterministic).
+	vms := make([]*vmm.VM, 0, len(hooked))
+	for vm := range hooked {
+		vms = append(vms, vm)
+	}
+	sort.Slice(vms, func(i, j int) bool { return vms[i].Name() < vms[j].Name() })
+	for _, vm := range vms {
+		in.installHooks(vm, hooked[vm])
 	}
 	return nil
 }
@@ -251,10 +259,16 @@ func (in *Injector) pickNode(target string) (*hw.Node, error) {
 	return nil, fmt.Errorf("faults: no node named %q", target)
 }
 
-// pickHCAs returns name→HCA for the targeted node, or for every
-// HCA-equipped node in the environment when target is empty.
-func (in *Injector) pickHCAs(target string) (map[string]*fabric.HCA, error) {
-	out := make(map[string]*fabric.HCA)
+// hcaTarget pairs an HCA with its node name for deterministic iteration.
+type hcaTarget struct {
+	name string
+	hca  *fabric.HCA
+}
+
+// pickHCAs returns the targeted node's HCA, or every HCA-equipped node in
+// the environment when target is empty — in environment (victim-list)
+// order, never map order, so multi-victim firings log deterministically.
+func (in *Injector) pickHCAs(target string) ([]hcaTarget, error) {
 	if target != "" {
 		n, err := in.pickNode(target)
 		if err != nil {
@@ -263,12 +277,12 @@ func (in *Injector) pickHCAs(target string) (map[string]*fabric.HCA, error) {
 		if n.HCA == nil {
 			return nil, fmt.Errorf("faults: node %q has no HCA", target)
 		}
-		out[n.Name] = n.HCA
-		return out, nil
+		return []hcaTarget{{n.Name, n.HCA}}, nil
 	}
+	var out []hcaTarget
 	for _, n := range in.env.Nodes {
 		if n.HCA != nil {
-			out[n.Name] = n.HCA
+			out = append(out, hcaTarget{n.Name, n.HCA})
 		}
 	}
 	if len(out) == 0 {

@@ -48,6 +48,14 @@ const (
 	EventReturnHome EventKind = "return-home"
 	// EventDeadlineMiss: a fleet directive finished after its deadline.
 	EventDeadlineMiss EventKind = "deadline-miss"
+	// EventSweepCell: a Monte Carlo sweep committed one cell's result
+	// (subject is the cell label, detail the outcome). Cells are committed
+	// in matrix enumeration order regardless of worker completion order,
+	// so the trail is deterministic at any parallelism.
+	EventSweepCell EventKind = "sweep-cell"
+	// EventSweepRow: a sweep finished the last cell of one matrix row
+	// (directive × fault-plan) and aggregated its distribution.
+	EventSweepRow EventKind = "sweep-row"
 )
 
 // Event is one timestamped orchestration event. The JSON form is what the

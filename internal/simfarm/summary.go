@@ -1,0 +1,227 @@
+package simfarm
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// RunResult is one cell's committed outcome. Every field is a
+// simulated-clock or counting quantity — no wall-clock values — so the
+// per-cell record, like the Summary, is identical at any parallelism.
+type RunResult struct {
+	Cell      string `json:"cell"`
+	Directive string `json:"directive"`
+	Plan      string `json:"plan"`
+	Seed      int64  `json:"seed"`
+	// MakespanS/DowntimeS are the directive wall time and summed service
+	// interruption on the cell's simulated clock, in seconds.
+	MakespanS   float64 `json:"makespan_s"`
+	DowntimeS   float64 `json:"downtime_s"`
+	DeadlineMet bool    `json:"deadline_met"`
+	Replans     int     `json:"replans"`
+	Requeues    int     `json:"requeues"`
+	// Outcomes tallies per-job fleet outcomes ("clean", "retried-ok", ...).
+	Outcomes map[string]int `json:"outcomes,omitempty"`
+	// FinishedSimS is the cell's simulated end time, driving the farm
+	// event log's clock.
+	FinishedSimS float64 `json:"finished_sim_s"`
+	// Err marks a failed cell: the run returned an error or panicked (the
+	// per-run guard records the panic here instead of killing the sweep).
+	// Failed cells are excluded from distributions but counted.
+	Err string `json:"err,omitempty"`
+	// Skipped marks a cell that never ran because the sweep's context was
+	// cancelled first. Skipped cells appear in Result.Cells but not in the
+	// Summary.
+	Skipped bool `json:"skipped,omitempty"`
+}
+
+// Dist is a nearest-rank percentile summary of one metric, in seconds.
+// With N sorted samples, pXX is the sample at index ceil(XX/100·N)-1 — a
+// pure function of the sample multiset, so it needs no interpolation
+// policy and stays byte-stable in JSON.
+type Dist struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// distOf computes the nearest-rank distribution (zero Dist for no samples).
+func distOf(vals []float64) Dist {
+	if len(vals) == 0 {
+		return Dist{}
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	rank := func(q float64) float64 {
+		i := int(float64(len(s))*q+0.999999) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i]
+	}
+	return Dist{P50: rank(0.50), P90: rank(0.90), P99: rank(0.99), Max: s[len(s)-1]}
+}
+
+// RowSummary aggregates one matrix row (directive × fault-plan) over its
+// seed range.
+type RowSummary struct {
+	Directive string `json:"directive"`
+	Plan      string `json:"plan"`
+	// Runs counts committed cells; Failures the subset that errored or
+	// panicked (excluded from the distributions below).
+	Runs     int `json:"runs"`
+	Failures int `json:"failures"`
+	// Makespan/Downtime are distributions over the successful runs.
+	Makespan Dist `json:"makespan_s"`
+	Downtime Dist `json:"downtime_s"`
+	// MissRate is deadline misses over successful runs (0 when none ran).
+	MissRate float64 `json:"miss_rate"`
+	// Replans/Requeues are totals over successful runs; Outcomes the
+	// merged per-job tally.
+	Replans  int            `json:"replans"`
+	Requeues int            `json:"requeues"`
+	Outcomes map[string]int `json:"outcomes,omitempty"`
+}
+
+// Summary is the deterministic aggregate of a sweep: byte-identical (via
+// JSON) for the same matrix regardless of worker count. Wall-clock
+// quantities (throughput) deliberately live outside it, on Result.Wall.
+type Summary struct {
+	// Directives×Plans×Seeds describe the matrix shape; Runs counts
+	// committed cells (== the product unless the sweep was cancelled).
+	Directives int          `json:"directives"`
+	Plans      int          `json:"plans"`
+	Seeds      int          `json:"seeds"`
+	Runs       int          `json:"runs"`
+	Failures   int          `json:"failures"`
+	Rows       []RowSummary `json:"rows"`
+}
+
+// JSON renders the summary in a stable form (maps marshal key-sorted, so
+// two summaries are equal iff their bytes are).
+func (s Summary) JSON() []byte {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		// Summary contains only marshalable fields; this is unreachable.
+		panic(fmt.Sprintf("simfarm: summary marshal: %v", err))
+	}
+	return append(out, '\n')
+}
+
+// WallStats is the sweep's wall-clock cost — informational, parallelism-
+// dependent, and therefore kept out of the Summary.
+type WallStats struct {
+	Parallelism int
+	Elapsed     time.Duration
+	RunsPerSec  float64
+}
+
+// Result pairs the deterministic Summary (and per-cell records, in
+// enumeration order) with the run's wall-clock stats.
+type Result struct {
+	Summary Summary
+	Cells   []RunResult
+	Wall    WallStats
+}
+
+// summarize folds committed cells into the Summary, walking rows in
+// enumeration order. cells must be in enumeration order (Run guarantees
+// it); skipped cells are left out entirely.
+func summarize(m Matrix, cells []RunResult) Summary {
+	plans := m.plans()
+	s := Summary{
+		Directives: len(m.Directives),
+		Plans:      len(plans),
+		Seeds:      m.Seeds.count(),
+	}
+	perRow := m.Seeds.count()
+	for row := 0; row < m.Rows(); row++ {
+		rs := RowSummary{
+			Directive: m.Directives[row/len(plans)].Name,
+			Plan:      plans[row%len(plans)].Name,
+		}
+		var mk, dt []float64
+		misses := 0
+		for i := row * perRow; i < (row+1)*perRow && i < len(cells); i++ {
+			c := cells[i]
+			if c.Skipped {
+				continue
+			}
+			rs.Runs++
+			s.Runs++
+			if c.Err != "" {
+				rs.Failures++
+				s.Failures++
+				continue
+			}
+			mk = append(mk, c.MakespanS)
+			dt = append(dt, c.DowntimeS)
+			if !c.DeadlineMet {
+				misses++
+			}
+			rs.Replans += c.Replans
+			rs.Requeues += c.Requeues
+			for k, v := range c.Outcomes {
+				if rs.Outcomes == nil {
+					rs.Outcomes = map[string]int{}
+				}
+				rs.Outcomes[k] += v
+			}
+		}
+		rs.Makespan = distOf(mk)
+		rs.Downtime = distOf(dt)
+		if n := len(mk); n > 0 {
+			rs.MissRate = float64(misses) / float64(n)
+		}
+		s.Rows = append(s.Rows, rs)
+	}
+	return s
+}
+
+// outcomeString renders an outcome tally name-sorted ("12 clean, 3
+// retried-ok"; "none" when empty).
+func outcomeString(m map[string]int) string {
+	if len(m) == 0 {
+		return "none"
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		if out != "" {
+			out += ", "
+		}
+		out += fmt.Sprintf("%d %s", m[k], k)
+	}
+	return out
+}
+
+// Render formats the per-row percentile table in the ninjabench style.
+func (s Summary) Render() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Ext. — Monte Carlo sweep: %d directive(s) × %d plan(s) × %d seed(s), %d run(s), %d failure(s)",
+			s.Directives, s.Plans, s.Seeds, s.Runs, s.Failures),
+		"directive", "plan", "runs", "fail",
+		"p50-mk [s]", "p99-mk [s]", "max-mk [s]",
+		"p50-dt [s]", "p90-dt [s]",
+		"miss-rate", "replans", "requeues", "outcomes")
+	for _, r := range s.Rows {
+		t.AddRow(r.Directive, r.Plan, r.Runs, r.Failures,
+			r.Makespan.P50, r.Makespan.P99, r.Makespan.Max,
+			r.Downtime.P50, r.Downtime.P90,
+			fmt.Sprintf("%.3f", r.MissRate), r.Replans, r.Requeues,
+			outcomeString(r.Outcomes))
+	}
+	return t
+}

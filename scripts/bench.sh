@@ -1,15 +1,16 @@
 #!/bin/sh
 # Bench-regression gate: runs the paper benchmarks at -benchtime 1x and
-# compares every deterministic sim-* metric against the committed baseline
+# compares every deterministic sim-* metric — and the farm-* Monte Carlo
+# sweep aggregates — against the committed baseline
 # (scripts/bench_baseline.json) via cmd/benchdiff. Wall-clock metrics
-# (ns/op, events/sec) are informational only and never compared.
+# (ns/op, events/sec, runs/sec) are informational only and never compared.
 #
 # Usage:
 #   scripts/bench.sh            # full suite; writes BENCH_<date>.json
 #   scripts/bench.sh --smoke    # fast subset (Table 2 / Fig 6 / ablations)
 #   scripts/bench.sh --update   # intentionally re-baseline after a change
 #
-# Exits non-zero if any sim-* metric drifts beyond 1e-6 relative.
+# Exits non-zero if any sim-*/farm-* metric drifts beyond 1e-6 relative.
 set -eu
 cd "$(dirname "$0")/.."
 

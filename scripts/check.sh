@@ -18,6 +18,11 @@ go test -race ./...
 # return-home rows. Exercise both kernel backends.
 go run ./cmd/ninjabench -run=ext-fleet -fleet-jobs=3 -fleet-drain-cap=2 >/dev/null
 go run ./cmd/ninjabench -run=ext-fleet -fleet-jobs=3 -fleet-drain-cap=2 -kernel=wheel >/dev/null
+# Monte Carlo sweep smoke under the race detector: 3×3×3 = 27 cells run
+# twice (parallelism 1 and 8) with the byte-identity check — 54 runs, well
+# under the 64-run budget; a nondeterministic summary or a data race in
+# the farm's worker pool fails here.
+go run -race ./cmd/ninjabench -run=ext-sweep -sweep-jobs=2 -sweep-seeds=3 >/dev/null
 # Bench-regression smoke: deterministic sim-* metrics vs the committed
 # baseline (full sweep: scripts/bench.sh).
 sh scripts/bench.sh --smoke >/dev/null
