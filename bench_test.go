@@ -460,6 +460,34 @@ func BenchmarkFarmSweep(b *testing.B) {
 	b.ReportMetric(res.Wall.RunsPerSec, "runs/sec")
 }
 
+// BenchmarkChurnPolicies runs the online churn matrix (greedy vs
+// adaptive destination-swap, fault free and through a node crash) and
+// reports the time-weighted affinity cost and corrective-migration spend
+// of each row as churn-* metrics. Like sim-* and farm-*, these are
+// deterministic simulated observables — benchdiff gates them at 1e-6 —
+// and the cost ordering (swap strictly below greedy) is the subsystem's
+// headline result.
+func BenchmarkChurnPolicies(b *testing.B) {
+	var rows []experiments.ChurnRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ExtChurnMatrix(experiments.ChurnConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	slugs := []string{"greedy", "swap", "greedy-crash", "swap-crash"}
+	for i, r := range rows {
+		b.ReportMetric(r.CostIntegral, "churn-cost-"+slugs[i]+"-pts")
+		b.ReportMetric(float64(r.SwapMigs+r.FaultMigs), "churn-migs-"+slugs[i])
+		b.ReportMetric(float64(r.Rejected), "churn-rejected-"+slugs[i])
+	}
+	if rows[1].CostIntegral >= rows[0].CostIntegral {
+		b.Fatalf("destination-swap cost %.0f not below greedy %.0f",
+			rows[1].CostIntegral, rows[0].CostIntegral)
+	}
+}
+
 // TestFleetScalePerfGuard asserts the tentpole acceptance criterion —
 // the wheel backend executes >=2x the events/sec of the heap backend with
 // >=50% fewer allocations at 128 jobs. Wall-clock assertions are machine-

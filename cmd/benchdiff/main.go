@@ -1,9 +1,11 @@
 // Command benchdiff guards the simulated-result benchmark metrics against
 // drift. It reads `go test -bench` output on stdin, extracts every custom
 // metric whose unit starts with "sim-" (simulated seconds / bandwidths —
-// deterministic observables, unlike wall-clock ns/op) or "farm-" (Monte
+// deterministic observables, unlike wall-clock ns/op), "farm-" (Monte
 // Carlo sweep aggregates — percentiles over seeded runs, equally
-// deterministic), and compares them against a committed baseline.
+// deterministic), or "churn-" (online-placement workload observables:
+// time-weighted affinity cost and corrective-migration spend), and
+// compares them against a committed baseline.
 //
 // Usage:
 //
@@ -45,7 +47,7 @@ func main() {
 		fatal("%v", err)
 	}
 	if len(observed) == 0 {
-		fatal("no sim-*/farm-* metrics found on stdin (pipe `go test -bench` output in)")
+		fatal("no sim-*/farm-*/churn-* metrics found on stdin (pipe `go test -bench` output in)")
 	}
 
 	if *write != "" {
@@ -98,9 +100,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) match %s (tol %g)\n", len(observed), *baseline, *tol)
 }
 
-// parseBench extracts "value sim-*" / "value farm-*" metric pairs from
-// go-test benchmark output, keyed by "BenchName/unit" with any -GOMAXPROCS
-// suffix stripped.
+// parseBench extracts "value sim-*" / "value farm-*" / "value churn-*"
+// metric pairs from go-test benchmark output, keyed by "BenchName/unit"
+// with any -GOMAXPROCS suffix stripped.
 func parseBench(f *os.File) (map[string]float64, error) {
 	out := map[string]float64{}
 	sc := bufio.NewScanner(f)
@@ -119,7 +121,8 @@ func parseBench(f *os.File) (map[string]float64, error) {
 		// fields[1] is the iteration count; after that, (value, unit) pairs.
 		for i := 2; i+1 < len(fields); i += 2 {
 			unit := fields[i+1]
-			if !strings.HasPrefix(unit, "sim-") && !strings.HasPrefix(unit, "farm-") {
+			if !strings.HasPrefix(unit, "sim-") && !strings.HasPrefix(unit, "farm-") &&
+				!strings.HasPrefix(unit, "churn-") {
 				continue
 			}
 			v, err := strconv.ParseFloat(fields[i], 64)

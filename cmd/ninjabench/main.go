@@ -8,6 +8,7 @@
 //	ninjabench -run=fig7 -scale=0.25
 //	ninjabench -run=fig8a,fig8b
 //	ninjabench -run=ext-fleet -fleet-jobs=4
+//	ninjabench -run=ext-churn -churn-jobs=64              # online churn: greedy vs destination-swap
 //	ninjabench -run=ext-sweep -sweep-seeds=32             # Monte Carlo fault sweep
 //	ninjabench -run=ext-sweep -sweep-par=8 -sweep-jobs=2  # fixed worker count
 //	ninjabench -run=table2,ext-fleet -json results.json
@@ -48,10 +49,12 @@ func main() {
 // Ctrl-C finishes the block in flight, flushes whatever tables completed
 // (including a partial -json dump), and exits 130.
 func run(ctx context.Context) int {
-	run := flag.String("run", "all", "comma-separated: table1,table2,fig6,fig7,fig8a,fig8b,ext-faults,ext-fleet,ext-sweep or 'all'")
+	run := flag.String("run", "all", "comma-separated: table1,table2,fig6,fig7,fig8a,fig8b,ext-faults,ext-fleet,ext-churn,ext-sweep or 'all'")
 	scale := flag.Float64("scale", 1.0, "iteration scale for fig7 (1.0 = full class D)")
 	fleetJobs := flag.Int("fleet-jobs", 0, "fleet size for ext-fleet (0 = default 8-job evacuation)")
 	drainCap := flag.Int("fleet-drain-cap", 0, "jobs-in-flight cap per rolling-maintenance mini-plan (0 = default 2)")
+	churnJobs := flag.Int("churn-jobs", 0, "arrival count for ext-churn (0 = default 64 jobs)")
+	churnSeed := flag.Int64("churn-seed", 0, "workload seed for ext-churn")
 	sweepSeeds := flag.Int("sweep-seeds", 32, "seeds per matrix row for ext-sweep")
 	sweepPar := flag.Int("sweep-par", 0, "worker count for ext-sweep (0 = run at 1 and 8, verify byte-identical summaries, report speedup)")
 	sweepJobs := flag.Int("sweep-jobs", 0, "fleet size per ext-sweep cell (0 = default 4 jobs)")
@@ -130,7 +133,7 @@ func run(ctx context.Context) int {
 	case *run == "all":
 		for _, id := range []string{"table1", "table2", "fig6", "fig7", "fig8a", "fig8b",
 			"ext-scalability", "ext-coldvslive", "ext-bypass", "ext-faults", "ext-fleet",
-			"ext-sweep"} {
+			"ext-churn", "ext-sweep"} {
 			want[id] = true
 		}
 	default:
@@ -225,6 +228,17 @@ func run(ctx context.Context) int {
 			fail("ext-fleet", err)
 		}
 		emit(experiments.ExtFleetRender(rows))
+	}
+
+	if want["ext-churn"] && ctx.Err() == nil {
+		cfg := experiments.ChurnConfig{Backend: backend}
+		cfg.Workload.Jobs = *churnJobs
+		cfg.Workload.Seed = *churnSeed
+		rows, err := experiments.ExtChurnMatrixCtx(ctx, cfg)
+		if err != nil && !errors.Is(err, context.Canceled) {
+			fail("ext-churn", err)
+		}
+		emit(experiments.ExtChurnRender(rows))
 	}
 
 	if want["ext-sweep"] && ctx.Err() == nil {

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/churn"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/jobs"
@@ -19,13 +20,17 @@ import (
 // pure function of this spec, which is what makes re-executing an
 // interrupted job after a crash converge on the identical report.
 type DirectiveSpec struct {
-	// Kind is "evacuate" (default), "rolling-maintenance", or "sweep" — a
-	// Monte Carlo fault sweep over the default simfarm matrix, sized by
-	// jobs/seeds/seed_base/parallelism below. "consolidate" is rejected:
-	// the ninjad testbed boots one VM per source node, so there is no
-	// packing headroom to consolidate into.
+	// Kind is "evacuate" (default), "rolling-maintenance", "sweep" — a
+	// Monte Carlo fault sweep over a simfarm matrix, sized by
+	// jobs/seeds/seed_base/parallelism and shaped by matrix/fault_plans
+	// below — or "churn", the continuous online-placement workload of
+	// internal/churn under one policy. "consolidate" is rejected: the
+	// ninjad testbed boots one VM per source node, so there is no packing
+	// headroom to consolidate into.
 	Kind string `json:"kind,omitempty"`
-	// Placement is "greedy" (default) or "swap".
+	// Placement is "greedy" (default) or "swap". For kind "churn" it
+	// selects the online policy: greedy first-fit or adaptive
+	// destination-swap.
 	Placement string `json:"placement,omitempty"`
 	// Batched enables concurrent gang execution; Cap bounds concurrent
 	// migrations per batch (0 = unlimited).
@@ -52,6 +57,17 @@ type DirectiveSpec struct {
 	Seeds       int   `json:"seeds,omitempty"`
 	SeedBase    int64 `json:"seed_base,omitempty"`
 	Parallelism int   `json:"parallelism,omitempty"`
+	// Matrix selects the sweep matrix (kind "sweep" only): "default" (the
+	// evacuation directive × fault-plan matrix) or "churn" (online
+	// placement policies × node-crash).
+	Matrix string `json:"matrix,omitempty"`
+	// FaultPlans restricts the sweep's fault axis to the named plans
+	// (kind "sweep" only; empty keeps the matrix's full axis). Unknown
+	// names are rejected with the matrix's plan list.
+	FaultPlans []string `json:"fault_plans,omitempty"`
+	// Seed seeds a churn run's arrival workload (kind "churn" only; 0 is
+	// a valid, fixed seed).
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // parseSpec decodes and validates a directive body. Unknown fields are
@@ -65,21 +81,42 @@ func parseSpec(raw json.RawMessage) (DirectiveSpec, error) {
 	}
 	switch spec.Kind {
 	case "", "evacuate", "rolling-maintenance":
-		if spec.Seeds != 0 || spec.SeedBase != 0 || spec.Parallelism != 0 {
-			return spec, fmt.Errorf("directive: seeds/seed_base/parallelism apply to kind \"sweep\" only")
+		if spec.Seeds != 0 || spec.SeedBase != 0 || spec.Parallelism != 0 ||
+			spec.Matrix != "" || spec.FaultPlans != nil {
+			return spec, fmt.Errorf("directive: seeds/seed_base/parallelism/matrix/fault_plans apply to kind \"sweep\" only")
+		}
+		if spec.Seed != 0 {
+			return spec, fmt.Errorf("directive: seed applies to kind \"churn\" only")
 		}
 	case "sweep":
 		if spec.Placement != "" || spec.Batched || spec.Cap != 0 || spec.MaxInFlight != 0 ||
-			spec.ReturnHome || spec.Faulted || spec.ForcedRollback || spec.VMsPerJob != 0 {
-			return spec, fmt.Errorf("directive: a sweep runs the built-in directive × fault-plan matrix; only jobs, seeds, seed_base and parallelism apply")
+			spec.ReturnHome || spec.Faulted || spec.ForcedRollback || spec.VMsPerJob != 0 || spec.Seed != 0 {
+			return spec, fmt.Errorf("directive: a sweep runs a directive × fault-plan matrix; only jobs, seeds, seed_base, parallelism, matrix and fault_plans apply")
 		}
 		if spec.Seeds < 0 || spec.SeedBase < 0 || spec.Parallelism < 0 {
+			return spec, fmt.Errorf("directive: negative counts are not valid")
+		}
+		switch spec.Matrix {
+		case "", "default", "churn":
+		default:
+			return spec, fmt.Errorf("directive: unknown matrix %q (want default or churn)", spec.Matrix)
+		}
+		if _, err := spec.sweepMatrix(); err != nil {
+			return spec, fmt.Errorf("directive: %w", err)
+		}
+	case "churn":
+		if spec.Batched || spec.Cap != 0 || spec.MaxInFlight != 0 || spec.ReturnHome ||
+			spec.ForcedRollback || spec.VMsPerJob != 0 || spec.Seeds != 0 || spec.SeedBase != 0 ||
+			spec.Parallelism != 0 || spec.Matrix != "" || spec.FaultPlans != nil {
+			return spec, fmt.Errorf("directive: a churn run takes only placement, jobs, seed and faulted")
+		}
+		if spec.Seed < 0 {
 			return spec, fmt.Errorf("directive: negative counts are not valid")
 		}
 	case "consolidate":
 		return spec, fmt.Errorf("directive: kind %q not supported: the ninjad testbed has no packing headroom (one VM per source node)", spec.Kind)
 	default:
-		return spec, fmt.Errorf("directive: unknown kind %q (want evacuate, rolling-maintenance or sweep)", spec.Kind)
+		return spec, fmt.Errorf("directive: unknown kind %q (want evacuate, rolling-maintenance, sweep or churn)", spec.Kind)
 	}
 	switch spec.Placement {
 	case "", "greedy", "swap":
@@ -164,6 +201,9 @@ func runDirective(ctx context.Context, rec jobs.Record, emit func(jobs.Event)) (
 	if spec.Kind == "sweep" {
 		return runSweepDirective(ctx, spec, emit)
 	}
+	if spec.Kind == "churn" {
+		return runChurnDirective(spec, emit)
+	}
 	cfg, sc := spec.scenario()
 	res, err := experiments.RunFleetScenarioWith(cfg, sc, func(ev metrics.Event) {
 		emit(jobs.Event{
@@ -210,13 +250,57 @@ func runDirective(ctx context.Context, rec jobs.Record, emit func(jobs.Event)) (
 	return json.Marshal(out)
 }
 
-// runSweepDirective runs a durable Monte Carlo sweep job: the default
-// simfarm matrix sized by the spec, with per-cell progress streamed into
-// the job's event log and only the deterministic Summary committed as the
-// result (wall-clock stats stay out, preserving the crash-re-execution
-// byte-identity guarantee).
+// sweepMatrix builds a sweep spec's matrix: the selected base matrix
+// with the fault axis restricted to any named plans. Unknown plan names
+// surface as a wrapped *simfarm.OptionsError — parseSpec calls this too,
+// so a typo'd plan name is refused at submit time, not at run time.
+func (spec DirectiveSpec) sweepMatrix() (simfarm.Matrix, error) {
+	var m simfarm.Matrix
+	if spec.Matrix == "churn" {
+		m = simfarm.ChurnMatrix(spec.Jobs, spec.Seeds)
+	} else {
+		m = simfarm.DefaultMatrix(spec.Jobs, spec.Seeds)
+	}
+	return m.SelectPlans(spec.FaultPlans...)
+}
+
+// runChurnDirective runs the online churn workload as a durable job:
+// the seeded arrival/departure process under one placement policy,
+// optionally through the default node-crash plan, with every engine
+// decision streamed into the job's event log. The committed result is
+// the churn Report — simulated-clock quantities only, so an interrupted
+// job re-executes to byte-identical bytes.
+func runChurnDirective(spec DirectiveSpec, emit func(jobs.Event)) (json.RawMessage, error) {
+	cfg := experiments.ChurnConfig{}
+	cfg.Workload.Jobs = spec.Jobs
+	cfg.Workload.Seed = spec.Seed
+	sc := experiments.ChurnScenario{}
+	if spec.Placement == "swap" {
+		sc.Policy = churn.PolicySwap
+	}
+	if spec.Faulted {
+		sc.Faults = experiments.ChurnCrashPlan()
+	}
+	res, err := experiments.RunChurnScenarioWith(cfg, sc, func(format string, args ...any) {
+		emit(jobs.Event{Kind: "churn-log", Detail: fmt.Sprintf(format, args...)})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return json.RawMessage(res.Report.JSON()), nil
+}
+
+// runSweepDirective runs a durable Monte Carlo sweep job: a simfarm
+// matrix — the default evacuation matrix or the churn placement matrix —
+// sized by the spec, optionally restricted to named fault plans, with
+// per-cell progress streamed into the job's event log and only the
+// deterministic Summary committed as the result (wall-clock stats stay
+// out, preserving the crash-re-execution byte-identity guarantee).
 func runSweepDirective(ctx context.Context, spec DirectiveSpec, emit func(jobs.Event)) (json.RawMessage, error) {
-	m := simfarm.DefaultMatrix(spec.Jobs, spec.Seeds)
+	m, err := spec.sweepMatrix()
+	if err != nil {
+		return nil, err
+	}
 	m.Seeds.Base = spec.SeedBase
 	f, err := simfarm.New(m, simfarm.Options{Parallelism: spec.Parallelism})
 	if err != nil {

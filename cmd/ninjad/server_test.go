@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/churn"
 	"repro/internal/jobs"
 	"repro/internal/metrics"
 	"repro/internal/simfarm"
@@ -163,6 +165,12 @@ func TestSubmitRejectsBadDirectives(t *testing.T) {
 		"sweep+policy":  `{"directive":{"kind":"sweep","placement":"swap"}}`,
 		"sweep-seeds<0": `{"directive":{"kind":"sweep","seeds":-1}}`,
 		"evac+seeds":    `{"directive":{"kind":"evacuate","seeds":4}}`,
+		"evac+seed":     `{"directive":{"kind":"evacuate","seed":7}}`,
+		"bad matrix":    `{"directive":{"kind":"sweep","matrix":"explode"}}`,
+		"bad plan name": `{"directive":{"kind":"sweep","fault_plans":["no-such-plan"]}}`,
+		"churn+seeds":   `{"directive":{"kind":"churn","seeds":4}}`,
+		"churn+batched": `{"directive":{"kind":"churn","batched":true}}`,
+		"churn-seed<0":  `{"directive":{"kind":"churn","seed":-1}}`,
 	} {
 		code, resp := httpJSON(t, "POST", base+"/jobs", body)
 		if code != http.StatusBadRequest {
@@ -258,6 +266,101 @@ func TestSweepDirectiveOverHTTP(t *testing.T) {
 	}
 	if cells != 18 || rows != 9 {
 		t.Fatalf("trail carried %d sweep-cell / %d sweep-row events, want 18/9", cells, rows)
+	}
+}
+
+// A churn job runs the online placement workload end to end: the
+// committed result is the deterministic churn Report, the trail carries
+// the engine's decision log, and re-submitting the identical directive
+// under a new ID commits byte-identical result bytes — the property the
+// crash-recovery path relies on.
+func TestChurnDirectiveOverHTTP(t *testing.T) {
+	d := startDaemon(t, t.TempDir())
+	base := "http://" + d.addr()
+
+	directive := `{"kind":"churn","placement":"swap","jobs":16,"seed":7,"faulted":true}`
+	code, body := httpJSON(t, "POST", base+"/jobs",
+		fmt.Sprintf(`{"id":"churn-1","directive":%s}`, directive))
+	if code != http.StatusCreated {
+		t.Fatalf("submit = %d: %s", code, body)
+	}
+	rec := waitDone(t, d, "churn-1")
+
+	var rep churn.Report
+	if err := json.Unmarshal(rec.Result, &rep); err != nil {
+		t.Fatalf("result not a churn.Report: %v: %s", err, rec.Result)
+	}
+	if rep.Policy != "destination-swap" || rep.Seed != 7 || rep.Arrived != 16 {
+		t.Fatalf("report header = %s/seed%d/%d arrivals, want destination-swap/seed7/16: %s",
+			rep.Policy, rep.Seed, rep.Arrived, rec.Result)
+	}
+	if rep.Departed+rep.Rejected != rep.Arrived {
+		t.Fatalf("report leaked jobs: %d departed + %d rejected != %d arrived",
+			rep.Departed, rep.Rejected, rep.Arrived)
+	}
+	logLines := 0
+	for _, ev := range rec.Events {
+		if ev.Kind == "churn-log" {
+			logLines++
+		}
+	}
+	if logLines == 0 {
+		t.Fatalf("trail carried no churn-log events on a faulted run: %+v", rec.Events)
+	}
+
+	httpJSON(t, "POST", base+"/jobs", fmt.Sprintf(`{"id":"churn-2","directive":%s}`, directive))
+	again := waitDone(t, d, "churn-2")
+	if !bytes.Equal(rec.Result, again.Result) {
+		t.Fatalf("identical churn directives committed different results:\n%s\nvs\n%s",
+			rec.Result, again.Result)
+	}
+}
+
+// The sweep wire form selects the churn matrix and restricts its fault
+// axis by plan name.
+func TestChurnSweepDirectiveOverHTTP(t *testing.T) {
+	d := startDaemon(t, t.TempDir())
+	base := "http://" + d.addr()
+
+	code, body := httpJSON(t, "POST", base+"/jobs",
+		`{"id":"csweep-1","directive":{"kind":"sweep","matrix":"churn","jobs":8,"seeds":2,"fault_plans":["node-crash"],"parallelism":4}}`)
+	if code != http.StatusCreated {
+		t.Fatalf("submit = %d: %s", code, body)
+	}
+	rec := waitDone(t, d, "csweep-1")
+
+	var sum simfarm.Summary
+	if err := json.Unmarshal(rec.Result, &sum); err != nil {
+		t.Fatalf("result not a simfarm.Summary: %v: %s", err, rec.Result)
+	}
+	if sum.Directives != 2 || sum.Plans != 1 || sum.Seeds != 2 {
+		t.Fatalf("matrix shape = %d×%d×%d, want 2×1×2: %s", sum.Directives, sum.Plans, sum.Seeds, rec.Result)
+	}
+	if sum.Runs != 4 || sum.Failures != 0 {
+		t.Fatalf("runs/failures = %d/%d, want 4/0: %s", sum.Runs, sum.Failures, rec.Result)
+	}
+	for _, r := range sum.Rows {
+		if r.Plan != "node-crash" {
+			t.Fatalf("fault_plans filter leaked plan %q into the summary", r.Plan)
+		}
+	}
+}
+
+// A typo'd fault-plan name is refused at parse time with the typed
+// simfarm error, naming the plans the matrix actually has.
+func TestSweepFaultPlanValidation(t *testing.T) {
+	_, err := parseSpec(json.RawMessage(`{"kind":"sweep","fault_plans":["dst-crash","bogus"]}`))
+	var oe *simfarm.OptionsError
+	if !errors.As(err, &oe) {
+		t.Fatalf("parseSpec = %v, want wrapped *simfarm.OptionsError", err)
+	}
+	for _, want := range []string{"bogus", "dst-crash", "migrate-abort"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	if _, err := parseSpec(json.RawMessage(`{"kind":"sweep","matrix":"churn","fault_plans":["node-crash"]}`)); err != nil {
+		t.Fatalf("valid churn-matrix plan selection rejected: %v", err)
 	}
 }
 

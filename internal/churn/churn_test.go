@@ -1,0 +1,243 @@
+package churn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/fleet"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// rig is one churn deployment: an IB site and an Ethernet site over a
+// fresh kernel. The IB site comes first in candidate order, so the
+// greedy baseline burns IB slots on whatever arrives first.
+type rig struct {
+	k    *sim.Kernel
+	topo *fleet.Topology
+}
+
+func newRig(backend sim.Backend, nfs float64) *rig {
+	k := sim.NewKernelWith(sim.Options{Backend: backend})
+	tb := hw.NewTestbed(k)
+	ib := tb.AddCluster("ib", 4, hw.AGCNodeSpec)
+	ethSpec := hw.AGCNodeSpec
+	ethSpec.IBBandwidth = 0
+	eth := tb.AddCluster("eth", 4, ethSpec)
+	topo := fleet.NewTopology(
+		&fleet.Site{Name: "ib", Nodes: ib.Nodes, SlotsPerNode: 2, WANBandwidth: 1.25e9},
+		&fleet.Site{Name: "eth", Nodes: eth.Nodes, SlotsPerNode: 2, WANBandwidth: 1.25e9},
+	)
+	topo.NFSBandwidth = nfs
+	return &rig{k: k, topo: topo}
+}
+
+func defaultWorkload(seed int64) Workload {
+	return Workload{
+		Seed:         seed,
+		Jobs:         48,
+		ArrivalRate:  0.5,
+		MeanLifetime: 90 * sim.Second,
+		MaxVMs:       2,
+		IBFraction:   0.5,
+	}
+}
+
+func runOnce(t *testing.T, backend sim.Backend, opts Options) Report {
+	t.Helper()
+	r := newRig(backend, 0)
+	defer r.k.Close()
+	eng, err := New(r.k, r.topo, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep := eng.Run()
+	if !eng.Done().Done() {
+		t.Fatalf("engine did not finish: %+v", rep)
+	}
+	return rep
+}
+
+// The arrival schedule is a pure function of the workload spec: same
+// seed, same schedule; the empirical arrival rate tracks the spec over
+// many draws (a property of the exponential sampler, not of the
+// engine).
+func TestWorkloadScheduleDeterministicAndCalibrated(t *testing.T) {
+	w := Workload{Seed: 7, Jobs: 4000, ArrivalRate: 2.0}
+	a, b := w.schedule(), w.schedule()
+	if len(a) != len(b) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	span := a[len(a)-1].at.Seconds()
+	got := float64(len(a)) / span
+	if math.Abs(got-2.0) > 0.15 {
+		t.Fatalf("empirical arrival rate %.3f/s, want ≈2/s", got)
+	}
+	other := Workload{Seed: 8, Jobs: 4000, ArrivalRate: 2.0}.schedule()
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// Lifetimes respect the configured bounds for every draw.
+func TestWorkloadLifetimeBounds(t *testing.T) {
+	w := Workload{Seed: 3, Jobs: 2000, MinLifetime: 20 * sim.Second, MaxLifetime: 40 * sim.Second}
+	for _, a := range w.schedule() {
+		if a.lifetime < 20*sim.Second || a.lifetime > 40*sim.Second {
+			t.Fatalf("lifetime %v outside [20s, 40s]", a.lifetime)
+		}
+	}
+}
+
+// A churn run is byte-identical across kernel backends: the heap and
+// timer-wheel queues execute the same events in the same (time, seq)
+// order, and the engine consumes its PRNG before the clock starts.
+func TestChurnDeterministicAcrossBackends(t *testing.T) {
+	for _, pol := range []Policy{PolicyGreedy, PolicySwap} {
+		opts := Options{Workload: defaultWorkload(11), Policy: pol}
+		heap := runOnce(t, sim.BackendHeap, opts)
+		wheel := runOnce(t, sim.BackendWheel, opts)
+		if heap.JSON() != wheel.JSON() {
+			t.Errorf("%v: backend reports differ:\nheap:  %s\nwheel: %s", pol, heap.JSON(), wheel.JSON())
+		}
+	}
+}
+
+// Repeated runs with the same seed are byte-identical; a different seed
+// produces a different run.
+func TestChurnSeedStability(t *testing.T) {
+	opts := Options{Workload: defaultWorkload(5), Policy: PolicySwap}
+	a := runOnce(t, sim.BackendHeap, opts)
+	b := runOnce(t, sim.BackendHeap, opts)
+	if a.JSON() != b.JSON() {
+		t.Fatalf("same seed, different reports:\n%s\n%s", a.JSON(), b.JSON())
+	}
+	opts.Workload.Seed = 6
+	c := runOnce(t, sim.BackendHeap, opts)
+	if a.JSON() == c.JSON() {
+		t.Fatal("different seeds produced byte-identical reports")
+	}
+}
+
+// The adaptive destination-swap policy buys down the time-weighted
+// affinity deficit relative to the greedy baseline — the subsystem's
+// headline claim — and pays for it with migrations.
+func TestSwapBeatsGreedyOnAffinityCost(t *testing.T) {
+	greedy := runOnce(t, sim.BackendHeap, Options{Workload: defaultWorkload(11), Policy: PolicyGreedy})
+	swap := runOnce(t, sim.BackendHeap, Options{Workload: defaultWorkload(11), Policy: PolicySwap})
+	if greedy.SwapMigs != 0 {
+		t.Fatalf("greedy executed %d swap migrations, want 0", greedy.SwapMigs)
+	}
+	if swap.CostIntegral >= greedy.CostIntegral {
+		t.Fatalf("swap cost %.0f not below greedy cost %.0f", swap.CostIntegral, greedy.CostIntegral)
+	}
+	if swap.SwapMigs == 0 {
+		t.Fatal("swap policy executed no corrective migrations on a mixed workload")
+	}
+}
+
+// Every job reaches a terminal state and the books balance.
+func TestChurnConservation(t *testing.T) {
+	for _, pol := range []Policy{PolicyGreedy, PolicySwap} {
+		rep := runOnce(t, sim.BackendHeap, Options{Workload: defaultWorkload(2), Policy: pol})
+		if rep.Arrived != 48 {
+			t.Fatalf("%v: arrived %d, want 48", pol, rep.Arrived)
+		}
+		if rep.Departed+rep.Rejected != rep.Arrived {
+			t.Fatalf("%v: departed %d + rejected %d != arrived %d", pol, rep.Departed, rep.Rejected, rep.Arrived)
+		}
+		if rep.Placed > rep.Arrived {
+			t.Fatalf("%v: placed %d > arrived %d", pol, rep.Placed, rep.Arrived)
+		}
+	}
+}
+
+// A node crash evicts the jobs running there; the engine re-places them
+// (counted as fault migrations) and the run still terminates
+// deterministically.
+func TestChurnNodeCrashEvictsAndReplaces(t *testing.T) {
+	plan, err := faults.ParsePlan("node-crash@30s+120s:node=ib-n00")
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	opts := Options{Workload: defaultWorkload(4), Policy: PolicySwap, Faults: plan}
+	a := runOnce(t, sim.BackendHeap, opts)
+	b := runOnce(t, sim.BackendWheel, opts)
+	if a.JSON() != b.JSON() {
+		t.Fatalf("faulted runs differ across backends:\n%s\n%s", a.JSON(), b.JSON())
+	}
+	if a.Faults != 1 {
+		t.Fatalf("faults fired %d, want 1", a.Faults)
+	}
+	if a.FaultMigs == 0 {
+		t.Fatal("node crash at 30s evicted nobody — expected fault re-placements")
+	}
+	if a.Departed+a.Rejected != a.Arrived {
+		t.Fatalf("faulted run leaked jobs: departed %d + rejected %d != arrived %d",
+			a.Departed, a.Rejected, a.Arrived)
+	}
+}
+
+// Option validation rejects caller bugs with the typed error.
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{Workload: Workload{Jobs: -1}},
+		{Workload: Workload{ArrivalRate: -0.5}},
+		{Workload: Workload{IBFraction: 1.5}},
+		{Workload: Workload{MinLifetime: 10 * sim.Second, MaxLifetime: 5 * sim.Second}},
+		{MaxSwapsPerEvent: -1},
+		{PlaceDeadline: -sim.Second},
+	}
+	for i, o := range bad {
+		err := o.Validate()
+		if err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+			continue
+		}
+		if _, ok := err.(*OptionsError); !ok {
+			t.Errorf("case %d: error %T, want *OptionsError", i, err)
+		}
+	}
+	if err := (Options{}).Validate(); err != nil {
+		t.Errorf("zero options rejected: %v", err)
+	}
+}
+
+// Pricing: a swap migration between WAN-constrained sites crosses both
+// uplinks; with a cold model and a priced NFS server it also crosses
+// the storage link.
+func TestMigrationPricingLinks(t *testing.T) {
+	r := newRig(sim.BackendHeap, 1e9)
+	defer r.k.Close()
+	eng, err := New(r.k, r.topo, Options{Workload: defaultWorkload(1), Model: fleet.CostModel{Cold: true}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	j := &job{name: "j", ib: true, vms: 1, nodes: []*hw.Node{r.topo.Sites[1].Nodes[0]}}
+	mig := eng.migrationFor(j, []*hw.Node{r.topo.Sites[0].Nodes[0]})
+	want := map[string]bool{"wan:ib": true, "wan:eth": true, "nfs:shared": true}
+	if len(mig.Links) != len(want) {
+		t.Fatalf("links %v, want %v", mig.Links, want)
+	}
+	for _, l := range mig.Links {
+		if !want[l] {
+			t.Fatalf("unexpected link %q in %v", l, mig.Links)
+		}
+	}
+	if mig.Bytes != eng.opts.Workload.VMBytes {
+		t.Fatalf("bytes %g, want one VM payload %g", mig.Bytes, eng.opts.Workload.VMBytes)
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/churn"
+	"repro/internal/sim"
+)
+
+// The subsystem's acceptance claim: on the default scenario the
+// adaptive destination-swap policy achieves strictly lower
+// time-weighted affinity cost than the greedy baseline, paying with
+// corrective migrations the baseline never makes.
+func TestExtChurnSwapBeatsGreedy(t *testing.T) {
+	greedy, err := RunChurnScenario(ChurnConfig{}, ChurnScenario{Policy: churn.PolicyGreedy})
+	if err != nil {
+		t.Fatalf("greedy: %v", err)
+	}
+	swap, err := RunChurnScenario(ChurnConfig{}, ChurnScenario{Policy: churn.PolicySwap})
+	if err != nil {
+		t.Fatalf("swap: %v", err)
+	}
+	if swap.Row.CostIntegral >= greedy.Row.CostIntegral {
+		t.Fatalf("destination-swap cost %.0f not strictly below greedy %.0f",
+			swap.Row.CostIntegral, greedy.Row.CostIntegral)
+	}
+	if swap.Row.SwapMigs == 0 || greedy.Row.SwapMigs != 0 {
+		t.Fatalf("swap-migs: swap=%d (want >0), greedy=%d (want 0)",
+			swap.Row.SwapMigs, greedy.Row.SwapMigs)
+	}
+}
+
+// The full matrix runs, keeps its row order, and the faulted rows
+// actually evict and re-place gangs.
+func TestExtChurnMatrix(t *testing.T) {
+	rows, err := ExtChurnMatrix(ChurnConfig{})
+	if err != nil {
+		t.Fatalf("ExtChurnMatrix: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	wantLabels := []string{
+		"greedy", "destination-swap",
+		"greedy+plan:node-crash", "destination-swap+plan:node-crash",
+	}
+	for i, r := range rows {
+		if r.Scenario != wantLabels[i] {
+			t.Errorf("row %d label %q, want %q", i, r.Scenario, wantLabels[i])
+		}
+		if r.Departed+r.Rejected != r.Arrived {
+			t.Errorf("row %s leaked jobs: %d departed + %d rejected != %d arrived",
+				r.Scenario, r.Departed, r.Rejected, r.Arrived)
+		}
+	}
+	for _, i := range []int{2, 3} {
+		if rows[i].FaultMigs == 0 {
+			t.Errorf("faulted row %s re-placed no gangs after the crash", rows[i].Scenario)
+		}
+	}
+	table := ExtChurnRender(rows).String()
+	if !strings.Contains(table, "destination-swap") {
+		t.Errorf("rendered table missing policy label:\n%s", table)
+	}
+}
+
+// A churn report is byte-identical across kernel backends at the
+// experiments layer too (deployment naming and fault wiring included),
+// and the log tap does not perturb the run.
+func TestExtChurnDeterminism(t *testing.T) {
+	sc := ChurnScenario{Policy: churn.PolicySwap, Faults: ChurnCrashPlan()}
+	heap, err := RunChurnScenario(ChurnConfig{Backend: sim.BackendHeap}, sc)
+	if err != nil {
+		t.Fatalf("heap: %v", err)
+	}
+	lines := 0
+	wheel, err := RunChurnScenarioWith(ChurnConfig{Backend: sim.BackendWheel}, sc,
+		func(string, ...any) { lines++ })
+	if err != nil {
+		t.Fatalf("wheel: %v", err)
+	}
+	if heap.Report.JSON() != wheel.Report.JSON() {
+		t.Fatalf("backend reports differ:\nheap:  %s\nwheel: %s",
+			heap.Report.JSON(), wheel.Report.JSON())
+	}
+	if lines == 0 {
+		t.Fatal("log tap observed no engine lines on a faulted run")
+	}
+}
+
+// ChurnVictims names the nodes DeployChurn builds, in candidate order.
+func TestChurnVictims(t *testing.T) {
+	victims := ChurnVictims(ChurnConfig{})
+	d := DeployChurn(ChurnConfig{})
+	defer d.K.Close()
+	var got []string
+	for _, s := range d.Topo.Sites {
+		for _, n := range s.Nodes {
+			got = append(got, n.Name)
+		}
+	}
+	if len(victims) != len(got) {
+		t.Fatalf("victims %v, deployment %v", victims, got)
+	}
+	for i := range victims {
+		if victims[i] != got[i] {
+			t.Fatalf("victim %d: %q, deployment has %q", i, victims[i], got[i])
+		}
+	}
+}

@@ -225,6 +225,11 @@ func (e *Executor) Start() (*sim.Future[Report], error) {
 	if e.plan.Dir.ReturnHome && e.opts.Topo == nil {
 		return nil, fmt.Errorf("fleet: ReturnHome requires Options.Topo")
 	}
+	if e.opts.Mode == ninja.Cold {
+		// Replanned and re-queued mini-plans must price the shared
+		// storage link the checkpoints stream through.
+		e.opts.Model.Cold = true
+	}
 	e.begun = true
 	fut := sim.NewFuture[Report](e.k)
 	e.k.Go("fleet-executor", func(p *sim.Proc) {

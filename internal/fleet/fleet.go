@@ -67,6 +67,12 @@ const (
 	// jobs shuffle within the site when it has room and spill to other
 	// sites when it does not.
 	RollingMaintenance
+	// Churn is a continuous-workload directive: jobs arrive and depart on
+	// a seeded online schedule instead of being known up front, so there
+	// is no batch plan to compute. The churn engine (internal/churn)
+	// drives placement and incremental swap migrations itself; the fleet
+	// Planner rejects Churn directives — they never reach Place.
+	Churn
 )
 
 // String returns the directive label.
@@ -78,6 +84,8 @@ func (d DirectiveKind) String() string {
 		return "consolidate"
 	case RollingMaintenance:
 		return "rolling-maintenance"
+	case Churn:
+		return "churn"
 	default:
 		return fmt.Sprintf("DirectiveKind(%d)", int(d))
 	}
@@ -158,6 +166,16 @@ func (s *Site) uplink() string { return "wan:" + s.Name }
 type Topology struct {
 	Sites  []*Site
 	siteOf map[*hw.Node]*Site
+	// NFSBandwidth is the shared storage server's service bandwidth
+	// (bytes/sec). When set, cold/checkpoint migrations (CostModel.Cold)
+	// are priced as crossing the "nfs:<NFSName>" shared link: every
+	// checkpoint is written to and restored from the same server, so
+	// concurrent cold migrations contend there even when their sites'
+	// WAN circuits are disjoint. 0 keeps the pre-existing behavior —
+	// storage sequenced as if it were free.
+	NFSBandwidth float64
+	// NFSName labels the storage link ("shared" when empty).
+	NFSName string
 }
 
 // NewTopology builds a topology over the sites (site order is the
@@ -175,14 +193,32 @@ func NewTopology(sites ...*Site) *Topology {
 // SiteOf returns the site owning the node (nil for foreign nodes).
 func (t *Topology) SiteOf(n *hw.Node) *Site { return t.siteOf[n] }
 
+// NFSLink is the shared-link identifier of the storage server — the key
+// under which LinkCaps prices it. Exposed for layers (the churn engine)
+// that build Migrations by hand instead of through MigrationOf.
+func (t *Topology) NFSLink() string { return t.nfsLink() }
+
+// nfsLink is the shared-link identifier of the storage server.
+func (t *Topology) nfsLink() string {
+	name := t.NFSName
+	if name == "" {
+		name = "shared"
+	}
+	return "nfs:" + name
+}
+
 // LinkCaps returns the shared-link capacity map the sequencer prices
-// contention against: one entry per WAN-constrained site uplink.
+// contention against: one entry per WAN-constrained site uplink, plus
+// the shared NFS server when the topology prices it.
 func (t *Topology) LinkCaps() map[string]float64 {
 	caps := make(map[string]float64)
 	for _, s := range t.Sites {
 		if s.WANBandwidth > 0 {
 			caps[s.uplink()] = s.WANBandwidth
 		}
+	}
+	if t.NFSBandwidth > 0 {
+		caps[t.nfsLink()] = t.NFSBandwidth
 	}
 	return caps
 }
@@ -223,6 +259,9 @@ type Planner struct {
 func (pl *Planner) Plan(dir Directive, jobs []*Job) (*Plan, error) {
 	if err := dir.Validate(); err != nil {
 		return nil, err
+	}
+	if dir.Kind == Churn {
+		return nil, fmt.Errorf("fleet: churn directives are online — drive them with the churn engine (internal/churn), not the batch planner")
 	}
 	if dir.Kind == RollingMaintenance {
 		if dir.Source == nil {

@@ -1,0 +1,82 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// The shared storage server must appear in LinkCaps when priced, under a
+// stable name, and stay absent otherwise — pre-NFS plans are unchanged.
+func TestLinkCapsPricesNFS(t *testing.T) {
+	topo := NewTopology(&Site{Name: "a", WANBandwidth: 1e9})
+	if caps := topo.LinkCaps(); len(caps) != 1 || caps["wan:a"] != 1e9 {
+		t.Fatalf("caps without NFS = %v, want only wan:a", caps)
+	}
+	topo.NFSBandwidth = 0.5e9
+	caps := topo.LinkCaps()
+	if caps["nfs:shared"] != 0.5e9 {
+		t.Fatalf("caps = %v, want nfs:shared at 0.5e9", caps)
+	}
+	topo.NFSName = "wan-nfs"
+	if caps := topo.LinkCaps(); caps["nfs:wan-nfs"] != 0.5e9 {
+		t.Fatalf("caps = %v, want nfs:wan-nfs", caps)
+	}
+}
+
+// Cold migrations must carry the NFS link even when they cross no WAN
+// circuit; live migrations on the same topology must not.
+func TestMigrationOfColdCrossesNFS(t *testing.T) {
+	k := sim.NewKernel()
+	tb := hw.NewTestbed(k)
+	src := tb.AddCluster("src", 2, ethSpec())
+	jobs := newTestJobs(t, k, tb, src.Nodes, []float64{4}, 2)
+	// One site, no WAN constraint: an intra-site move crosses nothing.
+	topo := NewTopology(&Site{Name: "src", Nodes: src.Nodes, SlotsPerNode: 2})
+	topo.NFSBandwidth = 1e9
+	dsts := []*hw.Node{src.Nodes[1], src.Nodes[1]}
+
+	live := topo.MigrationOf(jobs[0], dsts, CostModel{})
+	if len(live.Links) != 0 {
+		t.Fatalf("live intra-site migration crosses %v, want no links", live.Links)
+	}
+	cold := topo.MigrationOf(jobs[0], dsts, CostModel{Cold: true})
+	if len(cold.Links) != 1 || cold.Links[0] != "nfs:shared" {
+		t.Fatalf("cold migration crosses %v, want [nfs:shared]", cold.Links)
+	}
+}
+
+// Regression for the ROADMAP-flagged gap: cold migrations used to
+// sequence as if storage bandwidth were free. With the NFS server priced,
+// the LPT batcher serializes a checkpoint burst — putting the small
+// migrations in the big one's batch would stretch them behind the shared
+// store, so they land in a second batch — and the predicted makespan
+// reflects the storage bottleneck instead of full overlap.
+func TestColdBatchesSerializeOnNFSLink(t *testing.T) {
+	nfs := "nfs:shared"
+	// One 64 GB checkpoint plus two 2 GB ones, all through a 1 GB/s
+	// store. Free storage: disjoint links, one batch, makespan = slowest
+	// member solo (64 s + fixed).
+	big := mig("big", 64, sim.Second, 1e9, nfs)
+	s1 := mig("s1", 2, sim.Second, 1e9, nfs)
+	s2 := mig("s2", 2, sim.Second, 1e9, nfs)
+	free := PlanSequence([]*Migration{big, s1, s2}, map[string]float64{}, SeqPolicy{Batched: true})
+	if len(free.Batches) != 1 {
+		t.Fatalf("unpriced storage: %d batches, want 1 (storage looked free)", len(free.Batches))
+	}
+
+	priced := PlanSequence([]*Migration{big, s1, s2}, map[string]float64{nfs: 1e9}, SeqPolicy{Batched: true})
+	if len(priced.Batches) < 2 {
+		t.Fatalf("priced storage: %d batches, want the burst serialized", len(priced.Batches))
+	}
+	if priced.Predicted <= free.Predicted {
+		t.Fatalf("priced makespan %v not above the storage-free estimate %v",
+			priced.Predicted, free.Predicted)
+	}
+	// The batcher still overlaps what the store can carry: the two small
+	// checkpoints share a batch instead of running one per batch.
+	if len(priced.Batches) != 2 {
+		t.Fatalf("priced storage: %d batches, want 2 (big alone, smalls overlapped)", len(priced.Batches))
+	}
+}

@@ -43,17 +43,24 @@ const (
 	AffinityWastedIB = 80
 )
 
-// affinity scores placing one of job j's VMs on node n.
-func affinity(j *Job, n *hw.Node) int {
+// Affinity scores placing one VM of a job with the given interconnect
+// capability on node n. It is the single affinity ground truth shared by
+// the batch placement solver and the online churn engine
+// (internal/churn), which scores continuous-arrival placements with the
+// same weights.
+func Affinity(ibCapable bool, n *hw.Node) int {
 	switch {
-	case j.IBCapable && n.HasInfiniBand():
+	case ibCapable && n.HasInfiniBand():
 		return AffinityIB
-	case !j.IBCapable && n.HasInfiniBand():
+	case !ibCapable && n.HasInfiniBand():
 		return AffinityWastedIB
 	default:
 		return AffinityEth
 	}
 }
+
+// affinity scores placing one of job j's VMs on node n.
+func affinity(j *Job, n *hw.Node) int { return Affinity(j.IBCapable, n) }
 
 // Assignment is one job's planned destination list (one node per VM, in
 // job VM order).

@@ -23,6 +23,14 @@ type CostModel struct {
 	IBLinkup sim.Time
 	// PerVMWireRate caps a single VM's migration stream (bytes/sec).
 	PerVMWireRate float64
+	// Cold marks checkpoint/restart pricing: the payload streams through
+	// the shared storage server (checkpoint written at the source,
+	// restored at the destination), so the topology's NFS link — when
+	// Topology.NFSBandwidth prices one — joins every migration's
+	// shared-link set. Live migrations stream VM-to-VM and never touch
+	// it. Executor.Start sets this automatically when Options.Mode is
+	// ninja.Cold.
+	Cold bool
 }
 
 // DefaultCostModel returns the calibrated planning estimates.
@@ -34,6 +42,10 @@ func DefaultCostModel() CostModel {
 		PerVMWireRate: 0.1625e9,
 	}
 }
+
+// WithDefaults fills zero fields with the calibrated defaults — for
+// layers (the churn engine) that price abstract migrations themselves.
+func (m CostModel) WithDefaults() CostModel { return m.withDefaults() }
 
 func (m CostModel) withDefaults() CostModel {
 	d := DefaultCostModel()
@@ -102,6 +114,12 @@ func (t *Topology) MigrationOf(j *Job, dsts []*hw.Node, m CostModel) *Migration 
 		if dstIB {
 			mig.Fixed += m.IBLinkup
 		}
+	}
+	if m.Cold && t.NFSBandwidth > 0 {
+		// Checkpoint/restart rides the shared store regardless of which
+		// sites the gang crosses — even an intra-site cold migration
+		// contends on the NFS server.
+		links[t.nfsLink()] = true
 	}
 	for l := range links {
 		mig.Links = append(mig.Links, l)

@@ -184,6 +184,9 @@ func (f *Farm) runCell(cell Cell) (out RunResult) {
 	}()
 	run := f.opts.Runner
 	if run == nil {
+		if cell.Directive.Churn != nil {
+			return runChurnCell(cell, out)
+		}
 		run = runFleetCell
 	}
 	res, err := run(cell)
@@ -204,6 +207,47 @@ func (f *Farm) runCell(cell Cell) (out RunResult) {
 			label = "unknown"
 		}
 		out.Outcomes[label]++
+	}
+	return out
+}
+
+// runChurnCell executes one churn-directive cell: the cell seed becomes
+// the workload seed (so the replication axis sweeps workloads, not just
+// fault draws), and the cell's fault plan materializes against the churn
+// deployment's node names — churn cells have no VMs, so a VictimVM spec
+// fails the cell loudly rather than silently picking nothing.
+func runChurnCell(cell Cell, out RunResult) RunResult {
+	cd := cell.Directive.Churn
+	cfg := cd.Cfg
+	cfg.Workload.Seed = cell.Seed
+	sc := cd.Sc
+	if len(cell.Plan.Specs) > 0 {
+		rng := rand.New(rand.NewSource(cell.Seed))
+		plan, err := cell.Plan.materialize(cell.Seed, rng, nil, experiments.ChurnVictims(cfg))
+		if err != nil {
+			out.Err = err.Error()
+			return out
+		}
+		sc.Faults = &plan
+	}
+	res, err := experiments.RunChurnScenario(cfg, sc)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	rep := res.Report
+	out.MakespanS = rep.Duration.Seconds()
+	out.DowntimeS = rep.WaitTotal.Seconds()
+	out.DeadlineMet = rep.Rejected == 0
+	out.Replans = rep.SwapMigs
+	out.Requeues = rep.FaultMigs
+	out.FinishedSimS = rep.Duration.Seconds()
+	out.Outcomes = map[string]int{}
+	if rep.Departed > 0 {
+		out.Outcomes["departed"] = rep.Departed
+	}
+	if rep.Rejected > 0 {
+		out.Outcomes["rejected"] = rep.Rejected
 	}
 	return out
 }

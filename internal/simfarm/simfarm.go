@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/churn"
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/fleet"
@@ -58,6 +59,27 @@ type Directive struct {
 	// owned by the farm — the materialized per-cell fault plan is injected
 	// there — and must be left nil.
 	Sc experiments.FleetScenario
+	// Churn, when non-nil, switches this directive from a one-shot fleet
+	// evacuation to a continuous churn run; Cfg and Sc above are ignored.
+	Churn *ChurnDirective
+}
+
+// ChurnDirective is the churn variant of a directive: instead of
+// evacuating a fixed batch of jobs, each cell runs the online arrival/
+// departure workload of internal/churn under one placement policy. The
+// cell seed replaces Cfg.Workload.Seed (the farm's replication axis IS
+// the workload seed), and the farm's fault axis materializes into
+// Sc.Faults — which must therefore be left nil. Unlike fleet cells,
+// whose fault times are relative to the directive trigger, churn fault
+// times are absolute simulation times: a churn run has no trigger
+// instant, its clock starts at the first arrival's epoch.
+type ChurnDirective struct {
+	// Cfg shapes the two-site churn deployment (zero fields default as in
+	// experiments.ChurnConfig).
+	Cfg experiments.ChurnConfig
+	// Sc selects the placement policy and pricing switches. Faults must
+	// be nil; use the matrix's fault axis.
+	Sc experiments.ChurnScenario
 }
 
 // VictimKind selects how a FaultSpec resolves its target per cell.
@@ -198,8 +220,54 @@ func (m Matrix) Validate() error {
 				Reason: fmt.Sprintf("directive %q sets Sc.ExtraFaults, which is owned by the farm's fault axis", d.Name),
 			}
 		}
+		if d.Churn != nil && d.Churn.Sc.Faults != nil {
+			return &OptionsError{
+				Field: "Matrix.Directives", Value: 0,
+				Reason: fmt.Sprintf("directive %q sets Churn.Sc.Faults, which is owned by the farm's fault axis", d.Name),
+			}
+		}
 	}
 	return nil
+}
+
+// SelectPlans restricts the matrix's fault axis to the named plans.
+// Plans keep their matrix order regardless of the order names arrive in
+// — cell enumeration stays canonical, so two callers selecting the same
+// subset get byte-identical summaries. Unknown names are rejected with
+// an *OptionsError naming the plans the matrix actually has; an empty
+// selection keeps the full axis.
+func (m Matrix) SelectPlans(names ...string) (Matrix, error) {
+	if len(names) == 0 {
+		return m, nil
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var kept []FaultPlan
+	var have []string
+	for _, p := range m.plans() {
+		have = append(have, p.Name)
+		if want[p.Name] {
+			kept = append(kept, p)
+			delete(want, p.Name)
+		}
+	}
+	if len(want) > 0 {
+		var unknown []string
+		for _, n := range names {
+			if want[n] {
+				unknown = append(unknown, n)
+				delete(want, n)
+			}
+		}
+		return m, &OptionsError{
+			Field: "Matrix.Plans", Value: int64(len(unknown)),
+			Reason: fmt.Sprintf("unknown fault plan(s) %v (matrix has %v)", unknown, have),
+		}
+	}
+	m.Plans = kept
+	return m, nil
 }
 
 // plans returns the fault axis with the empty-axis default applied.
@@ -306,6 +374,49 @@ func DefaultMatrix(jobs, seeds int) Matrix {
 				Specs: []FaultSpec{{
 					Spec:   faults.Spec{Kind: faults.KindMigrateAbort, Pass: 1, Count: 1},
 					Victim: VictimVM,
+				}},
+			},
+		},
+		Seeds: SeedRange{Count: seeds},
+	}
+}
+
+// ChurnMatrix is the churn sweep matrix: both online placement policies
+// (greedy first-fit and adaptive destination-swap) crossed with a
+// fault-free plan and a jittered crash of a seeded destination node.
+// Where DefaultMatrix replays one evacuation trajectory per cell, this
+// matrix replays the continuous arrival/departure workload — each seed
+// is a different workload, not just a different fault draw — and the
+// summary's makespan/downtime columns carry the churn run's span and
+// total placement wait. jobs sizes each cell's arrival count (0 = 32,
+// half the ninjabench ext-churn default, because a sweep multiplies
+// every cell cost by |matrix|); seeds is the per-row replication count
+// (0 = the SeedRange default of 16).
+func ChurnMatrix(jobs, seeds int) Matrix {
+	if jobs == 0 {
+		jobs = 32
+	}
+	cfg := experiments.ChurnConfig{}
+	cfg.Workload.Jobs = jobs
+	return Matrix{
+		Directives: []Directive{
+			{
+				Name:  "churn-greedy",
+				Churn: &ChurnDirective{Cfg: cfg, Sc: experiments.ChurnScenario{Policy: churn.PolicyGreedy}},
+			},
+			{
+				Name:  "churn-swap",
+				Churn: &ChurnDirective{Cfg: cfg, Sc: experiments.ChurnScenario{Policy: churn.PolicySwap}},
+			},
+		},
+		Plans: []FaultPlan{
+			{Name: "none"},
+			{
+				Name: "node-crash",
+				Specs: []FaultSpec{{
+					Spec:     faults.Spec{Kind: faults.KindNodeCrash, At: 60 * sim.Second, For: 180 * sim.Second},
+					AtJitter: 120 * sim.Second,
+					Victim:   VictimDstNode,
 				}},
 			},
 		},

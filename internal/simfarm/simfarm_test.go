@@ -344,3 +344,56 @@ func TestDefaultMatrixFleetRuns(t *testing.T) {
 		}
 	}
 }
+
+// The churn axis end to end: the churn matrix (2 policies × 2 plans)
+// runs real churn cells, each seed a different workload, with a
+// byte-identical summary at parallelism 1 and 8.
+func TestChurnMatrixByteIdenticalAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real churn sweep")
+	}
+	m := ChurnMatrix(24, 3)
+	a := runAt(t, m, 1, nil)
+	b := runAt(t, m, 8, nil)
+	if a.Summary.Failures != 0 {
+		for _, c := range a.Cells {
+			if c.Err != "" {
+				t.Errorf("cell %s failed: %s", c.Cell, c.Err)
+			}
+		}
+		t.Fatalf("%d cell(s) failed", a.Summary.Failures)
+	}
+	if !bytes.Equal(a.Summary.JSON(), b.Summary.JSON()) {
+		t.Fatalf("churn sweep summary differs between parallelism 1 and 8:\n%s\nvs\n%s",
+			a.Summary.JSON(), b.Summary.JSON())
+	}
+	// The policy axis must be live: only the destination-swap rows spend
+	// corrective migrations (summed as Replans), and the greedy rows none.
+	for _, r := range a.Summary.Rows {
+		switch r.Directive {
+		case "churn-swap":
+			if r.Replans == 0 {
+				t.Errorf("row %s/%s: destination-swap made no corrective moves", r.Directive, r.Plan)
+			}
+		case "churn-greedy":
+			if r.Replans != 0 {
+				t.Errorf("row %s/%s: greedy made %d corrective moves, want 0", r.Directive, r.Plan, r.Replans)
+			}
+		}
+		if n := r.Outcomes["departed"] + r.Outcomes["rejected"]; n != 24*r.Runs {
+			t.Errorf("row %s/%s leaked jobs: outcomes %v over %d runs of 24 jobs",
+				r.Directive, r.Plan, r.Outcomes, r.Runs)
+		}
+	}
+}
+
+// A churn directive that tries to script its own faults is rejected:
+// the farm's fault axis owns Sc.Faults.
+func TestChurnDirectiveFaultsRejected(t *testing.T) {
+	m := ChurnMatrix(8, 1)
+	m.Directives[0].Churn.Sc.Faults = &faultsPlanStub
+	var oe *OptionsError
+	if _, err := New(m, Options{}); !errors.As(err, &oe) {
+		t.Fatalf("New = %v, want *OptionsError for Churn.Sc.Faults", err)
+	}
+}

@@ -23,6 +23,11 @@ go run ./cmd/ninjabench -run=ext-fleet -fleet-jobs=3 -fleet-drain-cap=2 -kernel=
 # under the 64-run budget; a nondeterministic summary or a data race in
 # the farm's worker pool fails here.
 go run -race ./cmd/ninjabench -run=ext-sweep -sweep-jobs=2 -sweep-seeds=3 >/dev/null
+# Online churn smoke under the race detector: the full policy × fault
+# matrix (greedy vs destination-swap, fault free and through a node
+# crash) on a reduced arrival count; the engine's mini-plan pipeline and
+# fault injection run on the shared kernel here.
+go run -race ./cmd/ninjabench -run=ext-churn -churn-jobs=24 >/dev/null
 # Bench-regression smoke: deterministic sim-* metrics vs the committed
 # baseline (full sweep: scripts/bench.sh).
 sh scripts/bench.sh --smoke >/dev/null
