@@ -9,12 +9,14 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"runtime"
 	"testing"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/hw"
 	"repro/internal/mpi"
 	"repro/internal/ninja"
@@ -476,7 +478,7 @@ func BenchmarkChurnPolicies(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	slugs := []string{"greedy", "swap", "greedy-crash", "swap-crash"}
+	slugs := []string{"greedy", "swap", "greedy-crash", "swap-crash", "swap-maxflow", "swap-maxflow-crash"}
 	for i, r := range rows {
 		b.ReportMetric(r.CostIntegral, "churn-cost-"+slugs[i]+"-pts")
 		b.ReportMetric(float64(r.SwapMigs+r.FaultMigs), "churn-migs-"+slugs[i])
@@ -485,6 +487,49 @@ func BenchmarkChurnPolicies(b *testing.B) {
 	if rows[1].CostIntegral >= rows[0].CostIntegral {
 		b.Fatalf("destination-swap cost %.0f not below greedy %.0f",
 			rows[1].CostIntegral, rows[0].CostIntegral)
+	}
+}
+
+// BenchmarkSequencerPlan prices both sequencing policies on a
+// deterministic 128-gang evacuation (one saturated source uplink, seven
+// destination uplinks, staggered payloads and fixed overheads) and
+// reports the predicted makespans and round counts as seq-* metrics.
+// The policies mirror the ext-fleet matrix: LPT under the default drain
+// cap of 4, max-flow uncapped (its rounds are sized by link admission).
+// The plans are pure functions of the input, so benchdiff gates the
+// seq-* family at the same 1e-6 tolerance as sim-*; ns/op measures
+// planning cost only (the LPT insert is memoized — see
+// fleet.TestPlanSequenceMemoizedCost for the wall-clock guard).
+func BenchmarkSequencerPlan(b *testing.B) {
+	caps := map[string]float64{"wan:src": 1.25e9}
+	for i := 0; i < 7; i++ {
+		caps[fmt.Sprintf("wan:dst%d", i)] = 1.25e9
+	}
+	var migs []*fleet.Migration
+	for i := 0; i < 128; i++ {
+		fixed := 13 * sim.Second
+		if i%2 == 0 {
+			fixed = 43 * sim.Second
+		}
+		migs = append(migs, &fleet.Migration{
+			Job:     &fleet.Job{Name: fmt.Sprintf("j%03d", i)},
+			Bytes:   (1 + float64(i%16)/4) * 1e9,
+			Fixed:   fixed,
+			MaxRate: 0.325e9,
+			Links:   []string{"wan:src", fmt.Sprintf("wan:dst%d", i%7)},
+		})
+	}
+	var lpt, mf fleet.Sequence
+	for i := 0; i < b.N; i++ {
+		lpt = fleet.PlanSequence(migs, caps, fleet.SeqPolicy{Batched: true, Cap: 4})
+		mf = fleet.PlanSequence(migs, caps, fleet.SeqPolicy{Batched: true, Mode: fleet.SeqMaxFlow})
+	}
+	b.ReportMetric(lpt.Predicted.Seconds(), "seq-lpt-pred-s")
+	b.ReportMetric(mf.Predicted.Seconds(), "seq-maxflow-pred-s")
+	b.ReportMetric(float64(len(lpt.Batches)), "seq-lpt-batches")
+	b.ReportMetric(float64(len(mf.Batches)), "seq-maxflow-batches")
+	if mf.Predicted > lpt.Predicted {
+		b.Fatalf("maxflow predicted %v exceeds LPT %v", mf.Predicted, lpt.Predicted)
 	}
 }
 

@@ -3,9 +3,10 @@
 // metric whose unit starts with "sim-" (simulated seconds / bandwidths —
 // deterministic observables, unlike wall-clock ns/op), "farm-" (Monte
 // Carlo sweep aggregates — percentiles over seeded runs, equally
-// deterministic), or "churn-" (online-placement workload observables:
-// time-weighted affinity cost and corrective-migration spend), and
-// compares them against a committed baseline.
+// deterministic), "churn-" (online-placement workload observables:
+// time-weighted affinity cost and corrective-migration spend), or "seq-"
+// (migration-sequencer predictions: per-policy batch counts and predicted
+// makespans), and compares them against a committed baseline.
 //
 // Usage:
 //
@@ -47,7 +48,7 @@ func main() {
 		fatal("%v", err)
 	}
 	if len(observed) == 0 {
-		fatal("no sim-*/farm-*/churn-* metrics found on stdin (pipe `go test -bench` output in)")
+		fatal("no sim-*/farm-*/churn-*/seq-* metrics found on stdin (pipe `go test -bench` output in)")
 	}
 
 	if *write != "" {
@@ -100,7 +101,8 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) match %s (tol %g)\n", len(observed), *baseline, *tol)
 }
 
-// parseBench extracts "value sim-*" / "value farm-*" / "value churn-*"
+// parseBench extracts "value sim-*" / "value farm-*" / "value churn-*" /
+// "value seq-*"
 // metric pairs from go-test benchmark output, keyed by "BenchName/unit"
 // with any -GOMAXPROCS suffix stripped.
 func parseBench(f *os.File) (map[string]float64, error) {
@@ -122,7 +124,7 @@ func parseBench(f *os.File) (map[string]float64, error) {
 		for i := 2; i+1 < len(fields); i += 2 {
 			unit := fields[i+1]
 			if !strings.HasPrefix(unit, "sim-") && !strings.HasPrefix(unit, "farm-") &&
-				!strings.HasPrefix(unit, "churn-") {
+				!strings.HasPrefix(unit, "churn-") && !strings.HasPrefix(unit, "seq-") {
 				continue
 			}
 			v, err := strconv.ParseFloat(fields[i], 64)

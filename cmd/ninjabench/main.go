@@ -8,6 +8,7 @@
 //	ninjabench -run=fig7 -scale=0.25
 //	ninjabench -run=fig8a,fig8b
 //	ninjabench -run=ext-fleet -fleet-jobs=4
+//	ninjabench -run=ext-fleet -fleet-seq=maxflow          # max-flow rounds vs the capped LPT rows
 //	ninjabench -run=ext-churn -churn-jobs=64              # online churn: greedy vs destination-swap
 //	ninjabench -run=ext-sweep -sweep-seeds=32             # Monte Carlo fault sweep
 //	ninjabench -run=ext-sweep -sweep-par=8 -sweep-jobs=2  # fixed worker count
@@ -53,6 +54,7 @@ func run(ctx context.Context) int {
 	scale := flag.Float64("scale", 1.0, "iteration scale for fig7 (1.0 = full class D)")
 	fleetJobs := flag.Int("fleet-jobs", 0, "fleet size for ext-fleet (0 = default 8-job evacuation)")
 	drainCap := flag.Int("fleet-drain-cap", 0, "jobs-in-flight cap per rolling-maintenance mini-plan (0 = default 2)")
+	fleetSeq := flag.String("fleet-seq", "", "sequencing mode for ext-fleet: lpt (default) or maxflow (time-expanded max-flow rounds)")
 	churnJobs := flag.Int("churn-jobs", 0, "arrival count for ext-churn (0 = default 64 jobs)")
 	churnSeed := flag.Int64("churn-seed", 0, "workload seed for ext-churn")
 	sweepSeeds := flag.Int("sweep-seeds", 32, "seeds per matrix row for ext-sweep")
@@ -91,6 +93,13 @@ func run(ctx context.Context) int {
 				fmt.Fprintf(os.Stderr, "ninjabench: memprofile: %v\n", err)
 			}
 		}()
+	}
+
+	switch *fleetSeq {
+	case "", "lpt", "maxflow":
+	default:
+		fmt.Fprintf(os.Stderr, "ninjabench: unknown -fleet-seq %q (want lpt or maxflow)\n", *fleetSeq)
+		os.Exit(1)
 	}
 
 	var backend sim.Backend
@@ -223,7 +232,7 @@ func run(ctx context.Context) int {
 	}
 	if want["ext-fleet"] && ctx.Err() == nil {
 		rows, err := experiments.ExtFleetMatrixCtx(ctx,
-			experiments.FleetConfig{Jobs: *fleetJobs, DrainCap: *drainCap, Backend: backend})
+			experiments.FleetConfig{Jobs: *fleetJobs, DrainCap: *drainCap, Backend: backend, SeqMode: *fleetSeq})
 		if err != nil && !errors.Is(err, context.Canceled) {
 			fail("ext-fleet", err)
 		}

@@ -36,6 +36,11 @@ type DirectiveSpec struct {
 	// migrations per batch (0 = unlimited).
 	Batched bool `json:"batched,omitempty"`
 	Cap     int  `json:"cap,omitempty"`
+	// Seq selects the sequencing algorithm: "lpt" (default) or "maxflow"
+	// (time-expanded max-flow rounds). For kind "churn" it sequences the
+	// engine's mini-plans; not valid for kind "sweep" (the matrix carries
+	// its own policies).
+	Seq string `json:"seq,omitempty"`
 	// MaxInFlight caps jobs migrating concurrently per rolling-maintenance
 	// mini-plan.
 	MaxInFlight int `json:"max_in_flight,omitempty"`
@@ -89,7 +94,7 @@ func parseSpec(raw json.RawMessage) (DirectiveSpec, error) {
 			return spec, fmt.Errorf("directive: seed applies to kind \"churn\" only")
 		}
 	case "sweep":
-		if spec.Placement != "" || spec.Batched || spec.Cap != 0 || spec.MaxInFlight != 0 ||
+		if spec.Placement != "" || spec.Batched || spec.Cap != 0 || spec.Seq != "" || spec.MaxInFlight != 0 ||
 			spec.ReturnHome || spec.Faulted || spec.ForcedRollback || spec.VMsPerJob != 0 || spec.Seed != 0 {
 			return spec, fmt.Errorf("directive: a sweep runs a directive × fault-plan matrix; only jobs, seeds, seed_base, parallelism, matrix and fault_plans apply")
 		}
@@ -108,7 +113,7 @@ func parseSpec(raw json.RawMessage) (DirectiveSpec, error) {
 		if spec.Batched || spec.Cap != 0 || spec.MaxInFlight != 0 || spec.ReturnHome ||
 			spec.ForcedRollback || spec.VMsPerJob != 0 || spec.Seeds != 0 || spec.SeedBase != 0 ||
 			spec.Parallelism != 0 || spec.Matrix != "" || spec.FaultPlans != nil {
-			return spec, fmt.Errorf("directive: a churn run takes only placement, jobs, seed and faulted")
+			return spec, fmt.Errorf("directive: a churn run takes only placement, seq, jobs, seed and faulted")
 		}
 		if spec.Seed < 0 {
 			return spec, fmt.Errorf("directive: negative counts are not valid")
@@ -123,6 +128,11 @@ func parseSpec(raw json.RawMessage) (DirectiveSpec, error) {
 	default:
 		return spec, fmt.Errorf("directive: unknown placement %q (want greedy or swap)", spec.Placement)
 	}
+	switch spec.Seq {
+	case "", fleet.SeqLPT, fleet.SeqMaxFlow:
+	default:
+		return spec, fmt.Errorf("directive: unknown seq %q (want %s or %s)", spec.Seq, fleet.SeqLPT, fleet.SeqMaxFlow)
+	}
 	if spec.MaxInFlight < 0 || spec.Cap < 0 || spec.Jobs < 0 || spec.VMsPerJob < 0 {
 		return spec, fmt.Errorf("directive: negative counts are not valid")
 	}
@@ -136,7 +146,7 @@ func parseSpec(raw json.RawMessage) (DirectiveSpec, error) {
 func (spec DirectiveSpec) scenario() (experiments.FleetConfig, experiments.FleetScenario) {
 	cfg := experiments.FleetConfig{Jobs: spec.Jobs, VMsPerJob: spec.VMsPerJob}
 	sc := experiments.FleetScenario{
-		Seq:            fleet.SeqPolicy{Batched: spec.Batched, Cap: spec.Cap},
+		Seq:            fleet.SeqPolicy{Batched: spec.Batched, Cap: spec.Cap, Mode: spec.Seq},
 		MaxInFlight:    spec.MaxInFlight,
 		ReturnHome:     spec.ReturnHome,
 		Faulted:        spec.Faulted,
@@ -277,6 +287,9 @@ func runChurnDirective(spec DirectiveSpec, emit func(jobs.Event)) (json.RawMessa
 	sc := experiments.ChurnScenario{}
 	if spec.Placement == "swap" {
 		sc.Policy = churn.PolicySwap
+	}
+	if spec.Seq == fleet.SeqMaxFlow {
+		sc.Seq = fleet.SeqPolicy{Batched: true, Mode: fleet.SeqMaxFlow}
 	}
 	if spec.Faulted {
 		sc.Faults = experiments.ChurnCrashPlan()

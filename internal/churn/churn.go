@@ -232,7 +232,7 @@ func (o Options) withDefaults() Options {
 	if o.HealthPoll <= 0 {
 		o.HealthPoll = 5 * sim.Second
 	}
-	if !o.Seq.Batched && o.Seq.Cap == 0 {
+	if o.Seq == (fleet.SeqPolicy{}) {
 		o.Seq = fleet.SeqPolicy{Batched: true}
 	}
 	return o
@@ -250,6 +250,9 @@ func (o Options) Validate() error {
 	if o.PlaceDeadline < 0 {
 		return &OptionsError{Field: "Options.PlaceDeadline", Value: o.PlaceDeadline.Seconds(),
 			Reason: "placement deadline must not be negative (0 selects the default)"}
+	}
+	if err := o.Seq.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -241,3 +241,68 @@ func TestMigrationPricingLinks(t *testing.T) {
 		t.Fatalf("bytes %g, want one VM payload %g", mig.Bytes, eng.opts.Workload.VMBytes)
 	}
 }
+
+// Regression for the eviction accounting bug: evictFrom used to release
+// a gang's slots and memory back to *every* node it ran on, including
+// the crashed one — so the dead node's books showed schedulable
+// capacity while it was down, and a restore stacked the stale release
+// on top of the reset. Capacity on failed hardware must be stranded
+// until reinstate rebuilds the books from ground truth.
+func TestEvictFromStrandsFailedCapacity(t *testing.T) {
+	r := newRig(sim.BackendHeap, 0)
+	defer r.k.Close()
+	eng, err := New(r.k, r.topo, Options{Workload: defaultWorkload(1)})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	bad := r.topo.Sites[0].Nodes[0]
+	good := r.topo.Sites[0].Nodes[1]
+	j := &job{name: "gang", ib: true, vms: 2, lifetime: 60 * sim.Second, state: stateRunning, nodes: []*hw.Node{bad, good}}
+	eng.jobs = append(eng.jobs, j)
+	eng.take(bad)
+	eng.take(good)
+	full := siteSlots(r.topo, bad)
+	if eng.slots[bad] != full-1 {
+		t.Fatalf("setup: slots[bad] = %d, want %d", eng.slots[bad], full-1)
+	}
+
+	bad.Fail()
+	eng.evictFrom(bad)
+
+	// The crashed node's claim is stranded, not freed: its books still
+	// show the evicted VM's slot as taken. The buggy release made this
+	// full again.
+	if eng.slots[bad] != full-1 {
+		t.Fatalf("slots on failed node = %d after eviction, want %d (stranded)", eng.slots[bad], full-1)
+	}
+	if eng.mem[bad] != eng.opts.Workload.VMBytes {
+		t.Fatalf("mem on failed node = %g after eviction, want one stranded VM (%g)", eng.mem[bad], eng.opts.Workload.VMBytes)
+	}
+	// The drain triggered by the eviction re-placed the gang, and only
+	// on healthy nodes.
+	if j.state != stateRunning {
+		t.Fatalf("evicted gang not re-placed: state %v", j.state)
+	}
+	for _, d := range j.nodes {
+		if d == bad || d.Failed() {
+			t.Fatalf("gang re-placed onto failed node %s", d.Name)
+		}
+	}
+
+	// Restore rebuilds the books from ground truth: no resident VMs on
+	// the node, minus any relocation reservations still on the wire.
+	eng.reserved[bad] = 1
+	bad.Restore()
+	eng.reinstate(bad)
+	if eng.slots[bad] != full-1 {
+		t.Fatalf("slots after reinstate = %d, want %d (full minus 1 reservation)", eng.slots[bad], full-1)
+	}
+	if eng.mem[bad] != eng.opts.Workload.VMBytes {
+		t.Fatalf("mem after reinstate = %g, want one reserved VM (%g)", eng.mem[bad], eng.opts.Workload.VMBytes)
+	}
+	eng.reserved[bad] = 0
+	eng.reinstate(bad)
+	if eng.slots[bad] != full || eng.mem[bad] != 0 {
+		t.Fatalf("slots/mem after clean reinstate = %d/%g, want %d/0", eng.slots[bad], eng.mem[bad], full)
+	}
+}

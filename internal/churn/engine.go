@@ -63,9 +63,10 @@ type Engine struct {
 	topo *fleet.Topology
 	opts Options
 
-	nodes []*hw.Node           // candidate order: site order, then node order
-	slots map[*hw.Node]int     // free placement slots
-	mem   map[*hw.Node]float64 // bytes of churn payload resident per node
+	nodes    []*hw.Node           // candidate order: site order, then node order
+	slots    map[*hw.Node]int     // free placement slots
+	mem      map[*hw.Node]float64 // bytes of churn payload resident per node
+	reserved map[*hw.Node]int     // relocation reservations on the wire, per destination
 
 	jobs    []*job // every job, arrival order (stable iteration)
 	queue   []*job // waiting for capacity, FIFO
@@ -88,12 +89,13 @@ func New(k *sim.Kernel, topo *fleet.Topology, opts Options) (*Engine, error) {
 	}
 	opts = opts.withDefaults()
 	e := &Engine{
-		k:     k,
-		topo:  topo,
-		opts:  opts,
-		slots: make(map[*hw.Node]int),
-		mem:   make(map[*hw.Node]float64),
-		done:  sim.NewFuture[struct{}](k),
+		k:        k,
+		topo:     topo,
+		opts:     opts,
+		slots:    make(map[*hw.Node]int),
+		mem:      make(map[*hw.Node]float64),
+		reserved: make(map[*hw.Node]int),
+		done:     sim.NewFuture[struct{}](k),
 	}
 	for _, s := range topo.Sites {
 		for _, n := range s.Nodes {
@@ -176,6 +178,7 @@ func (e *Engine) armFaults() {
 		if spec.For > 0 {
 			e.k.ScheduleAt(spec.At+spec.For, func() {
 				n.Restore()
+				e.reinstate(n)
 				e.logf("churn: %v node %s restored", e.k.Now(), n.Name)
 				e.drainQueue()
 				e.maybeSwap()
@@ -353,6 +356,14 @@ func (e *Engine) removeQueued(j *job) {
 // The gang's checkpoint survives on the shared store, so the job is not
 // lost — it waits for re-placement like a fresh arrival, and the
 // re-placement is counted as a fault migration.
+//
+// Capacity released by an eviction goes back only to healthy nodes: a
+// VM's claim on failed hardware is stranded, not freed — dead nodes must
+// not appear to hold schedulable slots while down. (findSlots and
+// proposeGroups both skip Failed nodes as well, so this is
+// defense-in-depth for the books themselves; pickNode only resolves
+// fault targets and never places.) reinstate rebuilds the node's books
+// from ground truth when it restores.
 func (e *Engine) evictFrom(n *hw.Node) {
 	e.accrue()
 	evicted := false
@@ -371,6 +382,9 @@ func (e *Engine) evictFrom(n *hw.Node) {
 			continue
 		}
 		for _, d := range j.nodes {
+			if d.Failed() {
+				continue
+			}
 			e.release(d)
 		}
 		j.nodes = nil
@@ -386,6 +400,29 @@ func (e *Engine) evictFrom(n *hw.Node) {
 		e.drainQueue()
 		e.maybeSwap()
 	}
+}
+
+// reinstate rebuilds a restored node's capacity books from ground truth.
+// While the node was down, evicted occupants' claims were deliberately
+// not released back to it (dead hardware holds no schedulable capacity),
+// so the stale counters are replaced wholesale: full site slots minus
+// VMs still resident (none, after eviction) and minus relocation
+// reservations still on the wire.
+func (e *Engine) reinstate(n *hw.Node) {
+	occ := 0
+	for _, j := range e.jobs {
+		if j.state != stateRunning {
+			continue
+		}
+		for _, d := range j.nodes {
+			if d == n {
+				occ++
+			}
+		}
+	}
+	held := occ + e.reserved[n]
+	e.slots[n] = siteSlots(e.topo, n) - held
+	e.mem[n] = float64(held) * e.opts.Workload.VMBytes
 }
 
 // maybeSwap proposes up to MaxSwapsPerEvent affinity-improving move
@@ -411,6 +448,7 @@ func (e *Engine) maybeSwap() {
 			for _, dst := range g.dsts {
 				for _, n := range dst {
 					e.take(n)
+					e.reserved[n]++
 				}
 			}
 		}
@@ -610,8 +648,15 @@ func (e *Engine) commitGroups(groups []*moveGroup) {
 		}
 		if !ok {
 			if !g.exchange {
+				// Return the relocation reservation. A destination that
+				// failed on the wire keeps nothing — its books are rebuilt
+				// by reinstate on restore.
 				for _, dst := range g.dsts {
 					for _, n := range dst {
+						e.reserved[n]--
+						if n.Failed() {
+							continue
+						}
 						e.release(n)
 					}
 				}
@@ -625,6 +670,12 @@ func (e *Engine) commitGroups(groups []*moveGroup) {
 			if g.exchange {
 				for _, n := range g.dsts[i] {
 					e.take(n)
+				}
+			} else {
+				// The reservation (taken at proposal time) becomes
+				// occupancy.
+				for _, n := range g.dsts[i] {
+					e.reserved[n]--
 				}
 			}
 			j.nodes = g.dsts[i]

@@ -9,35 +9,38 @@ import (
 // TestExtFleetDeterminism is the backend acceptance gate: the full 7-row
 // ext-fleet matrix (every directive × policy × fault combination) must
 // render byte-identical across the heap and timer-wheel kernel backends,
-// and across two consecutive runs on the same backend. Any divergence in
-// event ordering, PS completion order, or pooled-event reuse shows up here
-// as a table diff.
+// and across two consecutive runs on the same backend — under both
+// sequencing modes. Any divergence in event ordering, PS completion
+// order, pooled-event reuse, or sequencer tie-breaking shows up here as
+// a table diff.
 func TestExtFleetDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run fleet matrix is not short")
 	}
-	render := func(b sim.Backend) string {
-		cfg := FleetConfig{Jobs: 3, DrainCap: 2, Backend: b}
-		rows, err := ExtFleetMatrix(cfg)
-		if err != nil {
-			t.Fatalf("%s matrix: %v", b, err)
+	for _, seqMode := range []string{"", "maxflow"} {
+		render := func(b sim.Backend) string {
+			cfg := FleetConfig{Jobs: 3, DrainCap: 2, Backend: b, SeqMode: seqMode}
+			rows, err := ExtFleetMatrix(cfg)
+			if err != nil {
+				t.Fatalf("%s matrix: %v", b, err)
+			}
+			if len(rows) != len(ExtFleetScenarios(cfg.DrainCap, cfg.SeqMode)) {
+				t.Fatalf("%s matrix: %d rows", b, len(rows))
+			}
+			return ExtFleetRender(rows).String()
 		}
-		if len(rows) != len(ExtFleetScenarios(cfg.DrainCap)) {
-			t.Fatalf("%s matrix: %d rows", b, len(rows))
+		heap1 := render(sim.BackendHeap)
+		heap2 := render(sim.BackendHeap)
+		if heap1 != heap2 {
+			t.Fatalf("seq %q: heap backend not reproducible across runs:\n--- run 1:\n%s\n--- run 2:\n%s", seqMode, heap1, heap2)
 		}
-		return ExtFleetRender(rows).String()
-	}
-	heap1 := render(sim.BackendHeap)
-	heap2 := render(sim.BackendHeap)
-	if heap1 != heap2 {
-		t.Fatalf("heap backend not reproducible across runs:\n--- run 1:\n%s\n--- run 2:\n%s", heap1, heap2)
-	}
-	wheel1 := render(sim.BackendWheel)
-	wheel2 := render(sim.BackendWheel)
-	if wheel1 != wheel2 {
-		t.Fatalf("wheel backend not reproducible across runs:\n--- run 1:\n%s\n--- run 2:\n%s", wheel1, wheel2)
-	}
-	if heap1 != wheel1 {
-		t.Fatalf("backends disagree:\n--- heap:\n%s\n--- wheel:\n%s", heap1, wheel1)
+		wheel1 := render(sim.BackendWheel)
+		wheel2 := render(sim.BackendWheel)
+		if wheel1 != wheel2 {
+			t.Fatalf("seq %q: wheel backend not reproducible across runs:\n--- run 1:\n%s\n--- run 2:\n%s", seqMode, wheel1, wheel2)
+		}
+		if heap1 != wheel1 {
+			t.Fatalf("seq %q: backends disagree:\n--- heap:\n%s\n--- wheel:\n%s", seqMode, heap1, wheel1)
+		}
 	}
 }

@@ -114,6 +114,10 @@ type ChurnScenario struct {
 	// Cold prices swap and re-placement migrations as checkpoint/restart
 	// through the shared NFS link (requires ChurnConfig.NFSBandwidth).
 	Cold bool
+	// Seq selects how mini-plan migrations overlap (zero value = the
+	// churn default, batched LPT). fleet.SeqMaxFlow routes every
+	// mini-plan through the time-expanded max-flow planner.
+	Seq fleet.SeqPolicy
 	// Faults, when non-nil, is the node-fault script armed over the
 	// deployment (absolute sim times; only node-crash specs bite).
 	Faults *faults.Plan
@@ -124,6 +128,9 @@ func (sc ChurnScenario) Label() string {
 	l := sc.Policy.String()
 	if sc.Cold {
 		l += "+cold"
+	}
+	if sc.Seq.Mode == fleet.SeqMaxFlow {
+		l += "+maxflow"
 	}
 	if sc.Faults != nil && sc.Faults.Name != "" {
 		l += "+plan:" + sc.Faults.Name
@@ -178,6 +185,7 @@ func RunChurnScenarioWith(cfg ChurnConfig, sc ChurnScenario, logf func(format st
 		Policy:           sc.Policy,
 		MaxSwapsPerEvent: sc.MaxSwaps,
 		Model:            fleet.CostModel{Cold: sc.Cold},
+		Seq:              sc.Seq,
 		Log:              logf,
 	}
 	if sc.Faults != nil {
@@ -225,13 +233,18 @@ func ChurnCrashPlan() *faults.Plan {
 }
 
 // ExtChurnScenarios is the policy × fault matrix: both policies fault
-// free, then both policies through the node-crash plan.
+// free, then both policies through the node-crash plan, then the
+// destination-swap policy with its mini-plans sequenced by the
+// time-expanded max-flow planner — fault free and through the crash.
 func ExtChurnScenarios() []ChurnScenario {
+	mf := fleet.SeqPolicy{Batched: true, Mode: fleet.SeqMaxFlow}
 	return []ChurnScenario{
 		{Policy: churn.PolicyGreedy},
 		{Policy: churn.PolicySwap},
 		{Policy: churn.PolicyGreedy, Faults: ChurnCrashPlan()},
 		{Policy: churn.PolicySwap, Faults: ChurnCrashPlan()},
+		{Policy: churn.PolicySwap, Seq: mf},
+		{Policy: churn.PolicySwap, Seq: mf, Faults: ChurnCrashPlan()},
 	}
 }
 

@@ -38,12 +38,13 @@ func TestExtChurnMatrix(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ExtChurnMatrix: %v", err)
 	}
-	if len(rows) != 4 {
-		t.Fatalf("%d rows, want 4", len(rows))
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(rows))
 	}
 	wantLabels := []string{
 		"greedy", "destination-swap",
 		"greedy+plan:node-crash", "destination-swap+plan:node-crash",
+		"destination-swap+maxflow", "destination-swap+maxflow+plan:node-crash",
 	}
 	for i, r := range rows {
 		if r.Scenario != wantLabels[i] {
@@ -54,7 +55,7 @@ func TestExtChurnMatrix(t *testing.T) {
 				r.Scenario, r.Departed, r.Rejected, r.Arrived)
 		}
 	}
-	for _, i := range []int{2, 3} {
+	for _, i := range []int{2, 3, 5} {
 		if rows[i].FaultMigs == 0 {
 			t.Errorf("faulted row %s re-placed no gangs after the crash", rows[i].Scenario)
 		}

@@ -57,6 +57,12 @@ type FleetConfig struct {
 	// — the determinism acceptance test holds the matrix byte-identical
 	// across backends.
 	Backend sim.Backend
+	// SeqMode selects the matrix's sequencing algorithm: "" or "lpt"
+	// keeps the default LPT matrix (byte-stable across releases);
+	// "maxflow" swaps the batched rows for time-expanded max-flow rounds
+	// (fleet.SeqMaxFlow), keeping the capped LPT rows as the reference
+	// they are read against.
+	SeqMode string
 }
 
 func (cfg FleetConfig) withDefaults() FleetConfig {
@@ -276,6 +282,9 @@ func (sc FleetScenario) Label() string {
 	var l string
 	if sc.Kind == fleet.RollingMaintenance {
 		l = fmt.Sprintf("rolling(cap=%d)/%s", sc.MaxInFlight, sc.Placement)
+		if sc.Seq.Mode == fleet.SeqMaxFlow {
+			l += "/maxflow"
+		}
 	} else {
 		l = sc.Placement.String() + "/" + sc.Seq.String()
 	}
@@ -521,9 +530,27 @@ func RunFleetScenarioWith(cfg FleetConfig, sc FleetScenario, sink func(metrics.E
 // under both sequencers, the faulted run on the strongest pair, then the
 // extension directives — a rolling drain of dc0 (capped jobs-in-flight)
 // and a bidirectional evacuation through a 300 s site outage.
-func ExtFleetScenarios(drainCap int) []FleetScenario {
+//
+// seqMode fleet.SeqMaxFlow swaps the batched rows for uncapped
+// time-expanded max-flow rounds and keeps the two capped LPT rows as the
+// reference they are read against; any other value returns the default
+// LPT matrix unchanged.
+func ExtFleetScenarios(drainCap int, seqMode string) []FleetScenario {
 	if drainCap <= 0 {
 		drainCap = 2
+	}
+	if seqMode == fleet.SeqMaxFlow {
+		mf := fleet.SeqPolicy{Batched: true, Mode: fleet.SeqMaxFlow}
+		return []FleetScenario{
+			{Placement: fleet.PlaceGreedy, Seq: fleet.SeqPolicy{Batched: true, Cap: 4}},
+			{Placement: fleet.PlaceSwap, Seq: fleet.SeqPolicy{Batched: true, Cap: 4}},
+			{Placement: fleet.PlaceGreedy, Seq: mf},
+			{Placement: fleet.PlaceSwap, Seq: mf},
+			{Placement: fleet.PlaceSwap, Seq: mf, Faulted: true},
+			{Kind: fleet.RollingMaintenance, Placement: fleet.PlaceSwap,
+				Seq: fleet.SeqPolicy{Mode: fleet.SeqMaxFlow}, MaxInFlight: drainCap},
+			{Placement: fleet.PlaceSwap, Seq: mf, ReturnHome: true},
+		}
 	}
 	return []FleetScenario{
 		{Placement: fleet.PlaceGreedy, Seq: fleet.SeqPolicy{}},
@@ -548,7 +575,7 @@ func ExtFleetMatrix(cfg FleetConfig) ([]FleetRow, error) {
 func ExtFleetMatrixCtx(ctx context.Context, cfg FleetConfig) ([]FleetRow, error) {
 	cfg = cfg.withDefaults()
 	var rows []FleetRow
-	for _, sc := range ExtFleetScenarios(cfg.DrainCap) {
+	for _, sc := range ExtFleetScenarios(cfg.DrainCap, cfg.SeqMode) {
 		if err := ctx.Err(); err != nil {
 			return rows, err
 		}

@@ -132,8 +132,8 @@ func TestExtFleetMatrixShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != len(ExtFleetScenarios(2)) {
-		t.Fatalf("%d rows, want %d", len(rows), len(ExtFleetScenarios(2)))
+	if len(rows) != len(ExtFleetScenarios(2, "")) {
+		t.Fatalf("%d rows, want %d", len(rows), len(ExtFleetScenarios(2, "")))
 	}
 	tab := ExtFleetRender(rows)
 	if len(tab.Rows) != len(rows) {

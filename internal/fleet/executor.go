@@ -381,7 +381,7 @@ func (e *Executor) runRolling(p *sim.Proc, rep *Report) {
 	dir := e.plan.Dir
 	pol := e.plan.SeqPol
 	if dir.MaxInFlight > 0 {
-		pol = SeqPolicy{Batched: true, Cap: dir.MaxInFlight}
+		pol.Batched, pol.Cap = true, dir.MaxInFlight
 	}
 	for _, nd := range dir.Source.Nodes {
 		var affected []*Job

@@ -260,6 +260,9 @@ func (pl *Planner) Plan(dir Directive, jobs []*Job) (*Plan, error) {
 	if err := dir.Validate(); err != nil {
 		return nil, err
 	}
+	if err := pl.Seq.Validate(); err != nil {
+		return nil, err
+	}
 	if dir.Kind == Churn {
 		return nil, fmt.Errorf("fleet: churn directives are online — drive them with the churn engine (internal/churn), not the batch planner")
 	}

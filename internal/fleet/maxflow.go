@@ -1,0 +1,255 @@
+package fleet
+
+import "sort"
+
+// Time-expanded max-flow sequencing (Wang et al., arXiv:1412.4980 §III).
+//
+// Each planning round builds a flow network over the shared links: a
+// super-source fans out to one node per candidate migration (capped at
+// the gang's aggregate sender rate), each migration chains through the
+// split in/out nodes of every capped link it crosses (the in→out edge
+// carries the link's true capacity, shared by all crossers), and the last
+// link drains into a super-sink. The max flow of that network is the
+// aggregate transfer rate the fabric can sustain for the candidate set,
+// so a round admits migrations — in the deterministic LPT seed order —
+// while each one still raises the max flow, i.e. while the set's
+// aggregate transferable bytes per unit time keeps growing.
+//
+// Two deliberate deviations from a literal reading of the formulation:
+//
+//   - Bottleneck riding: once a link is saturated by the round's max-min
+//     allocation, a further migration crossing it adds zero max-flow gain
+//     — but on a work-conserving fabric it also adds zero aggregate
+//     transfer time (the link moves the same total bytes either way),
+//     while joining the round amortizes the migration's fixed overheads
+//     (coordination, hotplug, link-up) into the round it would otherwise
+//     pay again later. Such migrations are admitted.
+//   - The single-commodity network can overestimate the multi-commodity
+//     optimum when migrations traverse different link subsets (flow may
+//     "shortcut" between chains sharing a link). The network therefore
+//     decides admission only; rates and durations always come from the
+//     progressive-filling allocator (batchRates), which matches the
+//     fabric.
+//
+// Portfolio guard: the planner prices the LPT plan for the same
+// cap/policy and returns it when it predicts a strictly smaller makespan,
+// so SeqMaxFlow is never worse than SeqLPT under the planner's own cost
+// model.
+
+// planMaxFlow orders migrations into max-flow-admitted rounds.
+func planMaxFlow(migs []*Migration, caps map[string]float64, pol SeqPolicy) Sequence {
+	order := append([]*Migration(nil), migs...)
+	sort.SliceStable(order, func(i, j int) bool {
+		di, dj := order[i].soloTime(caps), order[j].soloTime(caps)
+		if di != dj {
+			return di > dj
+		}
+		return order[i].Job.Name < order[j].Job.Name
+	})
+	var batches [][]*Migration
+	remaining := order
+	for len(remaining) > 0 {
+		var round []*Migration
+		var skipped []*Migration
+		base := 0.0
+		for _, m := range remaining {
+			if pol.Cap > 0 && len(round) >= pol.Cap {
+				skipped = append(skipped, m)
+				continue
+			}
+			cand := append(append([]*Migration(nil), round...), m)
+			f := roundFlow(cand, caps)
+			switch {
+			case f > base+gainEps(base):
+				round, base = cand, f
+			case len(round) > 0 && ridesBottleneck(m, round, caps):
+				round, base = cand, f
+			default:
+				skipped = append(skipped, m)
+			}
+		}
+		if len(round) == 0 {
+			// Nothing gained flow (e.g. zero-rate migrations): make
+			// progress by taking the seed-order head alone.
+			round, skipped = skipped[:1], skipped[1:]
+		}
+		batches = append(batches, round)
+		remaining = skipped
+	}
+	seq := priceSequence(batches, caps)
+	alt := priceSequence(planLPT(migs, caps, SeqPolicy{Batched: true, Cap: pol.Cap}), caps)
+	if alt.Predicted < seq.Predicted {
+		return alt
+	}
+	return seq
+}
+
+// priceSequence fills PerBatch/Predicted for a fixed batch layout.
+func priceSequence(batches [][]*Migration, caps map[string]float64) Sequence {
+	seq := Sequence{Batches: batches}
+	for _, b := range batches {
+		d := batchTime(b, caps)
+		seq.PerBatch = append(seq.PerBatch, d)
+		seq.Predicted += d
+	}
+	return seq
+}
+
+// gainEps is the admission threshold: a candidate must raise the round's
+// max flow by more than float noise to count as new capacity.
+func gainEps(base float64) float64 { return 1e-6 * (base + 1) }
+
+// ridesBottleneck reports whether m crosses a capped link the round's
+// max-min allocation already saturates — the condition under which
+// joining the round costs no aggregate link time but amortizes m's fixed
+// overheads.
+func ridesBottleneck(m *Migration, round []*Migration, caps map[string]float64) bool {
+	rates := batchRates(round, caps)
+	used := map[string]float64{}
+	for i, r := range round {
+		for _, l := range r.Links {
+			if _, ok := caps[l]; ok {
+				used[l] += rates[i]
+			}
+		}
+	}
+	for _, l := range m.Links {
+		if c, ok := caps[l]; ok && used[l] >= c*(1-1e-9) {
+			return true
+		}
+	}
+	return false
+}
+
+// roundFlow returns the max flow (aggregate sustainable transfer rate,
+// bytes/sec) of the time-expanded network for one candidate round.
+func roundFlow(batch []*Migration, caps map[string]float64) float64 {
+	// Collect the capped links the batch crosses, in sorted order so node
+	// and edge construction is deterministic.
+	seen := map[string]bool{}
+	var links []string
+	for _, m := range batch {
+		for _, l := range m.Links {
+			if _, ok := caps[l]; ok && !seen[l] {
+				seen[l] = true
+				links = append(links, l)
+			}
+		}
+	}
+	sort.Strings(links)
+	// Node ids: 0 = source, 1 = sink, then per-link in/out pairs, then
+	// one node per migration.
+	n := 2 + 2*len(links) + len(batch)
+	net := newFlowNet(n)
+	lin := map[string]int{}
+	lout := map[string]int{}
+	for i, l := range links {
+		lin[l], lout[l] = 2+2*i, 2+2*i+1
+		net.addEdge(lin[l], lout[l], caps[l])
+	}
+	for i, m := range batch {
+		mid := 2 + 2*len(links) + i
+		net.addEdge(0, mid, m.MaxRate)
+		prev := mid
+		for _, l := range m.Links {
+			if _, ok := caps[l]; !ok {
+				continue
+			}
+			net.addEdge(prev, lin[l], m.MaxRate)
+			prev = lout[l]
+		}
+		net.addEdge(prev, 1, m.MaxRate)
+	}
+	return net.maxFlow(0, 1)
+}
+
+// flowNet is a Dinic max-flow solver over float64 capacities. Edge and
+// node ordering is fully determined by construction order, so identical
+// inputs yield identical flows bit-for-bit.
+type flowNet struct {
+	adj   [][]flowEdge
+	level []int
+	iter  []int
+	eps   float64
+}
+
+type flowEdge struct {
+	to, rev int
+	cap     float64
+}
+
+func newFlowNet(n int) *flowNet {
+	return &flowNet{adj: make([][]flowEdge, n), level: make([]int, n), iter: make([]int, n)}
+}
+
+func (g *flowNet) addEdge(u, v int, c float64) {
+	if c > g.eps {
+		// Residual slack below ~1e-9 of the largest capacity is float
+		// noise, not real headroom.
+		g.eps = c
+	}
+	g.adj[u] = append(g.adj[u], flowEdge{to: v, rev: len(g.adj[v]), cap: c})
+	g.adj[v] = append(g.adj[v], flowEdge{to: u, rev: len(g.adj[u]) - 1, cap: 0})
+}
+
+func (g *flowNet) maxFlow(s, t int) float64 {
+	eps := g.eps * 1e-9
+	if eps == 0 {
+		return 0
+	}
+	var total float64
+	for g.bfs(s, t, eps) {
+		for i := range g.iter {
+			g.iter[i] = 0
+		}
+		for {
+			f := g.dfs(s, t, g.eps*float64(len(g.adj)), eps)
+			if f <= eps {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+func (g *flowNet) bfs(s, t int, eps float64) bool {
+	for i := range g.level {
+		g.level[i] = -1
+	}
+	g.level[s] = 0
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[u] {
+			if e.cap > eps && g.level[e.to] < 0 {
+				g.level[e.to] = g.level[u] + 1
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return g.level[t] >= 0
+}
+
+func (g *flowNet) dfs(u, t int, f, eps float64) float64 {
+	if u == t {
+		return f
+	}
+	for ; g.iter[u] < len(g.adj[u]); g.iter[u]++ {
+		e := &g.adj[u][g.iter[u]]
+		if e.cap <= eps || g.level[e.to] != g.level[u]+1 {
+			continue
+		}
+		d := f
+		if e.cap < d {
+			d = e.cap
+		}
+		if d = g.dfs(e.to, t, d, eps); d > eps {
+			e.cap -= d
+			g.adj[e.to][e.rev].cap += d
+			return d
+		}
+	}
+	return 0
+}

@@ -142,6 +142,18 @@ func (mig *Migration) soloTime(caps map[string]float64) sim.Time {
 	return mig.Fixed + sim.FromSeconds(mig.Bytes/rate)
 }
 
+// Sequencing modes for SeqPolicy.Mode.
+const (
+	// SeqLPT is longest-processing-time-first list scheduling (the
+	// default; the zero value selects it).
+	SeqLPT = "lpt"
+	// SeqMaxFlow is the time-expanded-network / max-flow-per-round
+	// ordering (Wang et al., arXiv:1412.4980 §III): each round admits the
+	// migration subset maximizing aggregate transferable bytes under the
+	// true link capacities. Implies batched execution.
+	SeqMaxFlow = "maxflow"
+)
+
 // SeqPolicy selects how migrations are ordered and overlapped.
 type SeqPolicy struct {
 	// Batched enables concurrent gang execution; false runs migrations
@@ -151,10 +163,30 @@ type SeqPolicy struct {
 	// paper's runtime refuses concurrent checkpoints per job, so the cap
 	// is across jobs, not within one.
 	Cap int
+	// Mode selects the batching algorithm: "" or SeqLPT for LPT list
+	// scheduling, SeqMaxFlow for max-flow-per-round admission over the
+	// time-expanded link network. SeqMaxFlow implies Batched.
+	Mode string
+}
+
+// Validate rejects unknown sequencing modes.
+func (p SeqPolicy) Validate() error {
+	switch p.Mode {
+	case "", SeqLPT, SeqMaxFlow:
+		return nil
+	default:
+		return fmt.Errorf("fleet: unknown SeqPolicy.Mode %q (want %q or %q)", p.Mode, SeqLPT, SeqMaxFlow)
+	}
 }
 
 // String returns the policy label.
 func (p SeqPolicy) String() string {
+	if p.Mode == SeqMaxFlow {
+		if p.Cap > 0 {
+			return fmt.Sprintf("maxflow(cap=%d)", p.Cap)
+		}
+		return "maxflow"
+	}
 	if !p.Batched {
 		return "sequential"
 	}
@@ -174,32 +206,82 @@ type Sequence struct {
 	Predicted sim.Time
 }
 
-// batchTime predicts one batch's duration: each shared link's capacity
-// splits equally among the batch members crossing it, each migration runs
-// at the minimum of its own aggregate sender rate and its worst link
-// share, and the batch lasts as long as its slowest member. (A static
-// fair-share estimate — the fabric's max-min allocator is the ground
-// truth; this only has to rank schedules.)
-func batchTime(batch []*Migration, caps map[string]float64) sim.Time {
+// batchRates computes the max-min fair rate allocation for one batch by
+// progressive filling ("water-filling"), mirroring the fabric's PS
+// allocator: each pass gives every unfrozen migration its candidate rate
+// — the minimum of its own aggregate sender rate and its worst remaining
+// link share — then freezes everyone at the global minimum candidate,
+// returns their bandwidth claims to the links, and repeats. Capacity left
+// behind by migrations bottlenecked elsewhere (a tighter link, or their
+// own sender cap) is redistributed to the survivors instead of stranded.
+// Deterministic: at least one migration freezes per pass, and ties freeze
+// together.
+func batchRates(batch []*Migration, caps map[string]float64) []float64 {
+	rates := make([]float64, len(batch))
+	remaining := map[string]float64{}
 	crossing := map[string]int{}
 	for _, m := range batch {
 		for _, l := range m.Links {
-			crossing[l]++
-		}
-	}
-	var worst sim.Time
-	for _, m := range batch {
-		rate := m.MaxRate
-		for _, l := range m.Links {
 			if c, ok := caps[l]; ok {
-				if share := c / float64(crossing[l]); share < rate {
-					rate = share
-				}
+				remaining[l] = c
+				crossing[l]++
 			}
 		}
+	}
+	frozen := make([]bool, len(batch))
+	for active := len(batch); active > 0; {
+		minRate := -1.0
+		for i, m := range batch {
+			if frozen[i] {
+				continue
+			}
+			r := m.MaxRate
+			for _, l := range m.Links {
+				if _, ok := remaining[l]; !ok {
+					continue
+				}
+				if share := remaining[l] / float64(crossing[l]); share < r {
+					r = share
+				}
+			}
+			rates[i] = r
+			if minRate < 0 || r < minRate {
+				minRate = r
+			}
+		}
+		for i, m := range batch {
+			if frozen[i] || rates[i] > minRate {
+				continue
+			}
+			frozen[i] = true
+			active--
+			for _, l := range m.Links {
+				if _, ok := remaining[l]; !ok {
+					continue
+				}
+				remaining[l] -= rates[i]
+				if remaining[l] < 0 {
+					remaining[l] = 0
+				}
+				crossing[l]--
+			}
+		}
+	}
+	return rates
+}
+
+// batchTime predicts one batch's duration: shared-link capacity is
+// divided max-min fairly among the crossers (batchRates), and the batch
+// lasts as long as its slowest member. (A static estimate — the fabric's
+// max-min allocator is the ground truth; this only has to rank
+// schedules.)
+func batchTime(batch []*Migration, caps map[string]float64) sim.Time {
+	rates := batchRates(batch, caps)
+	var worst sim.Time
+	for i, m := range batch {
 		d := m.Fixed
-		if rate > 0 && m.Bytes > 0 {
-			d += sim.FromSeconds(m.Bytes / rate)
+		if rates[i] > 0 && m.Bytes > 0 {
+			d += sim.FromSeconds(m.Bytes / rates[i])
 		}
 		if d > worst {
 			worst = d
@@ -212,50 +294,34 @@ func batchTime(batch []*Migration, caps map[string]float64) sim.Time {
 //
 // Sequential: one migration per batch, in input order.
 //
-// Batched: longest-processing-time-first list scheduling — migrations are
-// sorted by contention-free duration (descending, ties by job name so the
-// plan is deterministic), then each is appended to whichever existing
-// batch yields the smallest predicted makespan, or to a new batch when
-// that is cheaper or every batch is at the concurrency cap. Migrations
-// that share no links land in the same batch (they do not stretch it);
-// conflicting migrations spread across batches once splitting a circuit
-// costs more than waiting.
+// Batched (Mode "" / SeqLPT): longest-processing-time-first list
+// scheduling — migrations are sorted by contention-free duration
+// (descending, ties by job name so the plan is deterministic), then each
+// is appended to whichever existing batch yields the smallest predicted
+// makespan, or to a new batch when that is cheaper or every batch is at
+// the concurrency cap. Migrations that share no links land in the same
+// batch (they do not stretch it); conflicting migrations spread across
+// batches once splitting a circuit costs more than waiting. Per-batch
+// durations are memoized across inserts: pricing a candidate placement
+// re-prices only the touched batch, not every batch in the plan.
+//
+// Mode SeqMaxFlow dispatches to the time-expanded max-flow-per-round
+// planner (maxflow.go); it implies batched execution regardless of
+// Batched.
 func PlanSequence(migs []*Migration, caps map[string]float64, pol SeqPolicy) Sequence {
-	var seq Sequence
 	if len(migs) == 0 {
-		return seq
+		return Sequence{}
 	}
+	if pol.Mode == SeqMaxFlow {
+		return planMaxFlow(migs, caps, pol)
+	}
+	var seq Sequence
 	if !pol.Batched {
 		for _, m := range migs {
 			seq.Batches = append(seq.Batches, []*Migration{m})
 		}
 	} else {
-		order := append([]*Migration(nil), migs...)
-		sort.SliceStable(order, func(i, j int) bool {
-			di, dj := order[i].soloTime(caps), order[j].soloTime(caps)
-			if di != dj {
-				return di > dj
-			}
-			return order[i].Job.Name < order[j].Job.Name
-		})
-		for _, m := range order {
-			best, bestTotal := -1, sim.Time(0)
-			for bi, b := range seq.Batches {
-				if pol.Cap > 0 && len(b) >= pol.Cap {
-					continue
-				}
-				total := predict(seq.Batches, caps, bi, m)
-				if best == -1 || total < bestTotal {
-					best, bestTotal = bi, total
-				}
-			}
-			newTotal := predict(seq.Batches, caps, -1, m)
-			if best == -1 || newTotal < bestTotal {
-				seq.Batches = append(seq.Batches, []*Migration{m})
-			} else {
-				seq.Batches[best] = append(seq.Batches[best], m)
-			}
-		}
+		seq.Batches = planLPT(migs, caps, pol)
 	}
 	for _, b := range seq.Batches {
 		d := batchTime(b, caps)
@@ -265,20 +331,46 @@ func PlanSequence(migs []*Migration, caps map[string]float64, pol SeqPolicy) Seq
 	return seq
 }
 
-// predict returns the makespan with m added to batch into (-1 = a new
-// batch).
-func predict(batches [][]*Migration, caps map[string]float64, into int, m *Migration) sim.Time {
-	var total sim.Time
-	for bi, b := range batches {
-		if bi == into {
-			b = append(append([]*Migration(nil), b...), m)
+// planLPT is the batched LPT insertion loop. durs memoizes each batch's
+// current duration and total their sum, so pricing "insert m into batch
+// bi" costs one batchTime call (total - durs[bi] + new duration) instead
+// of re-pricing every untouched batch.
+func planLPT(migs []*Migration, caps map[string]float64, pol SeqPolicy) [][]*Migration {
+	order := append([]*Migration(nil), migs...)
+	sort.SliceStable(order, func(i, j int) bool {
+		di, dj := order[i].soloTime(caps), order[j].soloTime(caps)
+		if di != dj {
+			return di > dj
 		}
-		total += batchTime(b, caps)
+		return order[i].Job.Name < order[j].Job.Name
+	})
+	var batches [][]*Migration
+	var durs []sim.Time
+	var total sim.Time
+	scratch := make([]*Migration, 0, len(order))
+	for _, m := range order {
+		best, bestTotal, bestDur := -1, sim.Time(0), sim.Time(0)
+		for bi, b := range batches {
+			if pol.Cap > 0 && len(b) >= pol.Cap {
+				continue
+			}
+			d := batchTime(append(append(scratch[:0], b...), m), caps)
+			if t := total - durs[bi] + d; best == -1 || t < bestTotal {
+				best, bestTotal, bestDur = bi, t, d
+			}
+		}
+		newDur := batchTime([]*Migration{m}, caps)
+		if best == -1 || total+newDur < bestTotal {
+			batches = append(batches, []*Migration{m})
+			durs = append(durs, newDur)
+			total += newDur
+		} else {
+			batches[best] = append(batches[best], m)
+			durs[best] = bestDur
+			total = bestTotal
+		}
 	}
-	if into == -1 {
-		total += batchTime([]*Migration{m}, caps)
-	}
-	return total
+	return batches
 }
 
 // PlanMini prices and sequences an incremental mini-plan over

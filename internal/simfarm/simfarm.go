@@ -321,14 +321,16 @@ func (m Matrix) Cells() []Cell {
 	return out
 }
 
-// DefaultMatrix is the ext-sweep matrix: three directive/policy shapes
-// (sequential greedy evacuation, batched swap-refined evacuation, and a
-// capped rolling-maintenance drain) crossed with three fault plans (fault
-// free, a jittered crash of a seeded destination node, and a precopy
-// socket drop against a seeded victim VM). jobs sizes each cell's fleet
-// (0 = 4 jobs — smaller than the ext-fleet default 8, because a sweep
-// multiplies every cell cost by |matrix|); seeds is the per-row
-// replication count (0 = the SeedRange default of 16).
+// DefaultMatrix is the ext-sweep matrix: four directive/policy shapes
+// (sequential greedy evacuation, batched swap-refined evacuation, a
+// capped rolling-maintenance drain, and a swap-refined evacuation
+// sequenced by the time-expanded max-flow planner) crossed with three
+// fault plans (fault free, a jittered crash of a seeded destination
+// node, and a precopy socket drop against a seeded victim VM). jobs
+// sizes each cell's fleet (0 = 4 jobs — smaller than the ext-fleet
+// default 8, because a sweep multiplies every cell cost by |matrix|);
+// seeds is the per-row replication count (0 = the SeedRange default of
+// 16).
 func DefaultMatrix(jobs, seeds int) Matrix {
 	if jobs == 0 {
 		jobs = 4
@@ -356,6 +358,14 @@ func DefaultMatrix(jobs, seeds int) Matrix {
 					Kind:        fleet.RollingMaintenance,
 					Placement:   fleet.PlaceSwap,
 					MaxInFlight: 2,
+				},
+			},
+			{
+				Name: "evac-swap-maxflow",
+				Cfg:  cfg,
+				Sc: experiments.FleetScenario{
+					Placement: fleet.PlaceSwap,
+					Seq:       fleet.SeqPolicy{Batched: true, Mode: fleet.SeqMaxFlow},
 				},
 			},
 		},

@@ -1,9 +1,10 @@
 #!/bin/sh
 # Bench-regression gate: runs the paper benchmarks at -benchtime 1x and
-# compares every deterministic sim-* metric — and the farm-* Monte Carlo
-# sweep aggregates — against the committed baseline
-# (scripts/bench_baseline.json) via cmd/benchdiff. Wall-clock metrics
-# (ns/op, events/sec, runs/sec) are informational only and never compared.
+# compares every deterministic sim-* metric — plus the farm-* Monte Carlo
+# sweep aggregates, churn-* policy costs and seq-* sequencer predictions —
+# against the committed baseline (scripts/bench_baseline.json) via
+# cmd/benchdiff. Wall-clock metrics (ns/op, events/sec, runs/sec) are
+# informational only and never compared.
 #
 # Usage:
 #   scripts/bench.sh            # full suite; writes BENCH_<date>.json

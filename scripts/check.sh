@@ -18,11 +18,14 @@ go test -race ./...
 # return-home rows. Exercise both kernel backends.
 go run ./cmd/ninjabench -run=ext-fleet -fleet-jobs=3 -fleet-drain-cap=2 >/dev/null
 go run ./cmd/ninjabench -run=ext-fleet -fleet-jobs=3 -fleet-drain-cap=2 -kernel=wheel >/dev/null
-# Monte Carlo sweep smoke under the race detector: 3×3×3 = 27 cells run
-# twice (parallelism 1 and 8) with the byte-identity check — 54 runs, well
+# ...and the time-expanded max-flow sequencing matrix (the alternate
+# planner drives the same executor through merged rounds).
+go run ./cmd/ninjabench -run=ext-fleet -fleet-jobs=3 -fleet-drain-cap=2 -fleet-seq=maxflow >/dev/null
+# Monte Carlo sweep smoke under the race detector: 4×3×2 = 24 cells run
+# twice (parallelism 1 and 8) with the byte-identity check — 48 runs, well
 # under the 64-run budget; a nondeterministic summary or a data race in
 # the farm's worker pool fails here.
-go run -race ./cmd/ninjabench -run=ext-sweep -sweep-jobs=2 -sweep-seeds=3 >/dev/null
+go run -race ./cmd/ninjabench -run=ext-sweep -sweep-jobs=2 -sweep-seeds=2 >/dev/null
 # Online churn smoke under the race detector: the full policy × fault
 # matrix (greedy vs destination-swap, fault free and through a node
 # crash) on a reduced arrival count; the engine's mini-plan pipeline and
