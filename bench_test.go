@@ -361,6 +361,41 @@ func BenchmarkAblationHotplugNoise(b *testing.B) {
 	b.ReportMetric(cross, "sim-cross-hotplug-s")
 }
 
+// BenchmarkAblationQPReplay runs the RDMA-native ladder matrix: the
+// hotplug baseline pays detach/attach plus ≈30 s of link training, QP
+// checkpoint/replay pays neither, and every injected replay fault
+// (resync stall, stale snapshot, HCA mismatch) demotes to the hotplug
+// rung instead of failing. The rdma-* metrics are guarded by benchdiff
+// alongside the sim-* family.
+func BenchmarkAblationQPReplay(b *testing.B) {
+	var rows []experiments.RDMARow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ExtRDMA()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	byName := map[string]experiments.RDMARow{}
+	demotions := 0
+	for _, r := range rows {
+		byName[r.Scenario] = r
+		demotions += r.Demoted
+	}
+	hotplug, native := byName["hotplug-baseline"], byName["rdma-native"]
+	if native.Total >= hotplug.Total {
+		b.Fatalf("QP replay saved nothing: native %v vs hotplug %v", native.Total, hotplug.Total)
+	}
+	if native.Mode != ninja.ModeRDMANative || hotplug.Mode != ninja.ModeHotplug {
+		b.Fatalf("unexpected rungs: native=%s hotplug=%s", native.Mode, hotplug.Mode)
+	}
+	b.ReportMetric(hotplug.Total.Seconds(), "rdma-hotplug-total-s")
+	b.ReportMetric(native.Total.Seconds(), "rdma-native-total-s")
+	b.ReportMetric((hotplug.Total - native.Total).Seconds(), "rdma-saved-s")
+	b.ReportMetric(byName["rdma-resync-timeout"].Total.Seconds(), "rdma-demote-resync-total-s")
+	b.ReportMetric(float64(demotions), "rdma-demotions")
+}
+
 // BenchmarkExtScalabilityWAN runs the §V scalability projection: N
 // simultaneous migrations intra-enclosure vs across a shared WAN circuit.
 func BenchmarkExtScalabilityWAN(b *testing.B) {

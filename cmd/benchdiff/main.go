@@ -6,7 +6,9 @@
 // deterministic), "churn-" (online-placement workload observables:
 // time-weighted affinity cost and corrective-migration spend), or "seq-"
 // (migration-sequencer predictions: per-policy batch counts and predicted
-// makespans), and compares them against a committed baseline.
+// makespans), or "rdma-" (RDMA-native QP-replay migration observables:
+// per-rung totals and demotion counts), and compares them against a
+// committed baseline.
 //
 // Usage:
 //
@@ -48,7 +50,7 @@ func main() {
 		fatal("%v", err)
 	}
 	if len(observed) == 0 {
-		fatal("no sim-*/farm-*/churn-*/seq-* metrics found on stdin (pipe `go test -bench` output in)")
+		fatal("no sim-*/farm-*/churn-*/seq-*/rdma-* metrics found on stdin (pipe `go test -bench` output in)")
 	}
 
 	if *write != "" {
@@ -124,7 +126,8 @@ func parseBench(f *os.File) (map[string]float64, error) {
 		for i := 2; i+1 < len(fields); i += 2 {
 			unit := fields[i+1]
 			if !strings.HasPrefix(unit, "sim-") && !strings.HasPrefix(unit, "farm-") &&
-				!strings.HasPrefix(unit, "churn-") && !strings.HasPrefix(unit, "seq-") {
+				!strings.HasPrefix(unit, "churn-") && !strings.HasPrefix(unit, "seq-") &&
+				!strings.HasPrefix(unit, "rdma-") {
 				continue
 			}
 			v, err := strconv.ParseFloat(fields[i], 64)

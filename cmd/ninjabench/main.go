@@ -50,7 +50,7 @@ func main() {
 // Ctrl-C finishes the block in flight, flushes whatever tables completed
 // (including a partial -json dump), and exits 130.
 func run(ctx context.Context) int {
-	run := flag.String("run", "all", "comma-separated: table1,table2,fig6,fig7,fig8a,fig8b,ext-faults,ext-fleet,ext-churn,ext-sweep or 'all'")
+	run := flag.String("run", "all", "comma-separated: table1,table2,fig6,fig7,fig8a,fig8b,ext-faults,ext-rdma,ext-fleet,ext-churn,ext-sweep or 'all'")
 	scale := flag.Float64("scale", 1.0, "iteration scale for fig7 (1.0 = full class D)")
 	fleetJobs := flag.Int("fleet-jobs", 0, "fleet size for ext-fleet (0 = default 8-job evacuation)")
 	drainCap := flag.Int("fleet-drain-cap", 0, "jobs-in-flight cap per rolling-maintenance mini-plan (0 = default 2)")
@@ -141,8 +141,8 @@ func run(ctx context.Context) int {
 		// sweep only
 	case *run == "all":
 		for _, id := range []string{"table1", "table2", "fig6", "fig7", "fig8a", "fig8b",
-			"ext-scalability", "ext-coldvslive", "ext-bypass", "ext-faults", "ext-fleet",
-			"ext-churn", "ext-sweep"} {
+			"ext-scalability", "ext-coldvslive", "ext-bypass", "ext-faults", "ext-rdma",
+			"ext-fleet", "ext-churn", "ext-sweep"} {
 			want[id] = true
 		}
 	default:
@@ -229,6 +229,13 @@ func run(ctx context.Context) int {
 			fail("ext-faults", err)
 		}
 		emit(experiments.ExtFaultMatrixRender(rows))
+	}
+	if want["ext-rdma"] && ctx.Err() == nil {
+		rows, err := experiments.ExtRDMA()
+		if err != nil {
+			fail("ext-rdma", err)
+		}
+		emit(experiments.ExtRDMARender(rows))
 	}
 	if want["ext-fleet"] && ctx.Err() == nil {
 		rows, err := experiments.ExtFleetMatrixCtx(ctx,

@@ -11,6 +11,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/jobs"
 	"repro/internal/metrics"
+	"repro/internal/ninja"
 	"repro/internal/simfarm"
 )
 
@@ -41,6 +42,12 @@ type DirectiveSpec struct {
 	// engine's mini-plans; not valid for kind "sweep" (the matrix carries
 	// its own policies).
 	Seq string `json:"seq,omitempty"`
+	// Mode selects the transfer mechanism for evacuate/rolling-maintenance
+	// directives: "live" (default), "rdma" (RDMA-native QP checkpoint/
+	// replay — IB-capable jobs skip hotplug and link training, demoting
+	// per VM to the hotplug rung on replay faults), or "cold"
+	// (checkpoint/restart through the shared store).
+	Mode string `json:"mode,omitempty"`
 	// MaxInFlight caps jobs migrating concurrently per rolling-maintenance
 	// mini-plan.
 	MaxInFlight int `json:"max_in_flight,omitempty"`
@@ -94,6 +101,9 @@ func parseSpec(raw json.RawMessage) (DirectiveSpec, error) {
 			return spec, fmt.Errorf("directive: seed applies to kind \"churn\" only")
 		}
 	case "sweep":
+		if spec.Mode != "" {
+			return spec, fmt.Errorf("directive: mode applies to evacuate/rolling-maintenance only")
+		}
 		if spec.Placement != "" || spec.Batched || spec.Cap != 0 || spec.Seq != "" || spec.MaxInFlight != 0 ||
 			spec.ReturnHome || spec.Faulted || spec.ForcedRollback || spec.VMsPerJob != 0 || spec.Seed != 0 {
 			return spec, fmt.Errorf("directive: a sweep runs a directive × fault-plan matrix; only jobs, seeds, seed_base, parallelism, matrix and fault_plans apply")
@@ -110,6 +120,9 @@ func parseSpec(raw json.RawMessage) (DirectiveSpec, error) {
 			return spec, fmt.Errorf("directive: %w", err)
 		}
 	case "churn":
+		if spec.Mode != "" {
+			return spec, fmt.Errorf("directive: mode applies to evacuate/rolling-maintenance only")
+		}
 		if spec.Batched || spec.Cap != 0 || spec.MaxInFlight != 0 || spec.ReturnHome ||
 			spec.ForcedRollback || spec.VMsPerJob != 0 || spec.Seeds != 0 || spec.SeedBase != 0 ||
 			spec.Parallelism != 0 || spec.Matrix != "" || spec.FaultPlans != nil {
@@ -132,6 +145,11 @@ func parseSpec(raw json.RawMessage) (DirectiveSpec, error) {
 	case "", fleet.SeqLPT, fleet.SeqMaxFlow:
 	default:
 		return spec, fmt.Errorf("directive: unknown seq %q (want %s or %s)", spec.Seq, fleet.SeqLPT, fleet.SeqMaxFlow)
+	}
+	switch spec.Mode {
+	case "", "live", "rdma", "cold":
+	default:
+		return spec, fmt.Errorf("directive: unknown mode %q (want live, rdma or cold)", spec.Mode)
 	}
 	if spec.MaxInFlight < 0 || spec.Cap < 0 || spec.Jobs < 0 || spec.VMsPerJob < 0 {
 		return spec, fmt.Errorf("directive: negative counts are not valid")
@@ -160,6 +178,12 @@ func (spec DirectiveSpec) scenario() (experiments.FleetConfig, experiments.Fleet
 	}
 	if spec.Placement == "swap" {
 		sc.Placement = fleet.PlaceSwap
+	}
+	switch spec.Mode {
+	case "rdma":
+		sc.Mode = ninja.RDMANative
+	case "cold":
+		sc.Mode = ninja.Cold
 	}
 	return cfg, sc
 }

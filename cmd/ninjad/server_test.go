@@ -249,10 +249,10 @@ func TestSweepDirectiveOverHTTP(t *testing.T) {
 	if err := json.Unmarshal(rec.Result, &sum); err != nil {
 		t.Fatalf("result not a simfarm.Summary: %v: %s", err, rec.Result)
 	}
-	if sum.Directives != 4 || sum.Plans != 3 || sum.Seeds != 2 {
-		t.Fatalf("matrix shape = %d×%d×%d, want 4×3×2", sum.Directives, sum.Plans, sum.Seeds)
+	if sum.Directives != 5 || sum.Plans != 3 || sum.Seeds != 2 {
+		t.Fatalf("matrix shape = %d×%d×%d, want 5×3×2", sum.Directives, sum.Plans, sum.Seeds)
 	}
-	if sum.Runs != 24 || sum.Failures != 0 || len(sum.Rows) != 12 {
+	if sum.Runs != 30 || sum.Failures != 0 || len(sum.Rows) != 15 {
 		t.Fatalf("runs/failures/rows = %d/%d/%d: %s", sum.Runs, sum.Failures, len(sum.Rows), rec.Result)
 	}
 	cells, rows := 0, 0
@@ -264,8 +264,8 @@ func TestSweepDirectiveOverHTTP(t *testing.T) {
 			rows++
 		}
 	}
-	if cells != 24 || rows != 12 {
-		t.Fatalf("trail carried %d sweep-cell / %d sweep-row events, want 24/12", cells, rows)
+	if cells != 30 || rows != 15 {
+		t.Fatalf("trail carried %d sweep-cell / %d sweep-row events, want 30/15", cells, rows)
 	}
 }
 

@@ -52,6 +52,8 @@ type DeployConfig struct {
 	ContinueLikeRestart bool
 	// Params overrides the VMM cost model (zero value → defaults).
 	Params *vmm.Params
+	// Backend selects the kernel event-queue backend (zero value → heap).
+	Backend sim.Backend
 }
 
 // Deploy builds the testbed, boots the VMs and creates the job.
@@ -66,7 +68,7 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 	if cfg.Params != nil {
 		params = *cfg.Params
 	}
-	k := sim.NewKernel()
+	k := sim.NewKernelWith(sim.Options{Backend: cfg.Backend})
 	tb := hw.NewTestbed(k)
 	src := tb.AddCluster("agc-ib", 8, hw.AGCNodeSpec)
 	dstSpec := hw.AGCNodeSpec

@@ -13,6 +13,38 @@ import (
 // sequencing modes. Any divergence in event ordering, PS completion
 // order, pooled-event reuse, or sequencer tie-breaking shows up here as
 // a table diff.
+// TestExtRDMADeterminism is the RDMA-native acceptance row: the six-rung
+// ext-rdma ladder (clean replay, each injected demotion, the preflight
+// demotion and the hotplug baseline) must render byte-identical across the
+// heap and timer-wheel backends and across consecutive runs. With the mode
+// off the rows ARE the hotplug baseline, so this also pins the zero-fault
+// observables the bench baseline guards.
+func TestExtRDMADeterminism(t *testing.T) {
+	render := func(b sim.Backend) string {
+		rows, err := ExtRDMAWith(b)
+		if err != nil {
+			t.Fatalf("%s ladder: %v", b, err)
+		}
+		if len(rows) != len(extRDMAScenarios()) {
+			t.Fatalf("%s ladder: %d rows", b, len(rows))
+		}
+		return ExtRDMARender(rows).String()
+	}
+	heap1 := render(sim.BackendHeap)
+	heap2 := render(sim.BackendHeap)
+	if heap1 != heap2 {
+		t.Fatalf("heap backend not reproducible across runs:\n--- run 1:\n%s\n--- run 2:\n%s", heap1, heap2)
+	}
+	wheel1 := render(sim.BackendWheel)
+	wheel2 := render(sim.BackendWheel)
+	if wheel1 != wheel2 {
+		t.Fatalf("wheel backend not reproducible across runs:\n--- run 1:\n%s\n--- run 2:\n%s", wheel1, wheel2)
+	}
+	if heap1 != wheel1 {
+		t.Fatalf("backends disagree:\n--- heap:\n%s\n--- wheel:\n%s", heap1, wheel1)
+	}
+}
+
 func TestExtFleetDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run fleet matrix is not short")

@@ -253,6 +253,11 @@ type FleetScenario struct {
 	Kind      fleet.DirectiveKind
 	Placement fleet.PlacementPolicy
 	Seq       fleet.SeqPolicy
+	// Mode selects the transfer mechanism (zero value = Live). RDMANative
+	// migrates IB-capable jobs by QP checkpoint/replay — no hotplug, no
+	// link retraining — with per-VM demotion to the hotplug rung on replay
+	// faults; the sequencer prices those jobs without the fixed terms.
+	Mode ninja.Mode
 	// MaxInFlight caps jobs migrating concurrently per rolling-maintenance
 	// mini-plan.
 	MaxInFlight int
@@ -287,6 +292,12 @@ func (sc FleetScenario) Label() string {
 		}
 	} else {
 		l = sc.Placement.String() + "/" + sc.Seq.String()
+	}
+	switch sc.Mode {
+	case ninja.RDMANative:
+		l += "+rdma"
+	case ninja.Cold:
+		l += "+cold"
 	}
 	if sc.ReturnHome {
 		l += "+return"
@@ -371,7 +382,8 @@ func RunFleetScenarioWith(cfg FleetConfig, sc FleetScenario, sink func(metrics.E
 		MaxInFlight: sc.MaxInFlight,
 		ReturnHome:  sc.ReturnHome,
 	}
-	planner := &fleet.Planner{Topo: d.Topo, Placement: sc.Placement, Seq: sc.Seq}
+	model := fleet.CostModel{RDMANative: sc.Mode == ninja.RDMANative}
+	planner := &fleet.Planner{Topo: d.Topo, Placement: sc.Placement, Seq: sc.Seq, Model: model}
 	plan, err := planner.Plan(dir, d.Jobs)
 	if err != nil {
 		return nil, err
@@ -381,6 +393,8 @@ func RunFleetScenarioWith(cfg FleetConfig, sc FleetScenario, sink func(metrics.E
 		Topo:      d.Topo,
 		Placement: sc.Placement,
 		Replan:    true,
+		Mode:      sc.Mode,
+		Model:     model,
 	})
 	if sink != nil {
 		ex.Events().SetNotify(sink)
@@ -547,6 +561,7 @@ func ExtFleetScenarios(drainCap int, seqMode string) []FleetScenario {
 			{Placement: fleet.PlaceGreedy, Seq: mf},
 			{Placement: fleet.PlaceSwap, Seq: mf},
 			{Placement: fleet.PlaceSwap, Seq: mf, Faulted: true},
+			{Placement: fleet.PlaceSwap, Seq: mf, Mode: ninja.RDMANative},
 			{Kind: fleet.RollingMaintenance, Placement: fleet.PlaceSwap,
 				Seq: fleet.SeqPolicy{Mode: fleet.SeqMaxFlow}, MaxInFlight: drainCap},
 			{Placement: fleet.PlaceSwap, Seq: mf, ReturnHome: true},
@@ -558,6 +573,7 @@ func ExtFleetScenarios(drainCap int, seqMode string) []FleetScenario {
 		{Placement: fleet.PlaceGreedy, Seq: fleet.SeqPolicy{Batched: true, Cap: 4}},
 		{Placement: fleet.PlaceSwap, Seq: fleet.SeqPolicy{Batched: true, Cap: 4}},
 		{Placement: fleet.PlaceSwap, Seq: fleet.SeqPolicy{Batched: true, Cap: 4}, Faulted: true},
+		{Placement: fleet.PlaceSwap, Seq: fleet.SeqPolicy{Batched: true, Cap: 4}, Mode: ninja.RDMANative},
 		{Kind: fleet.RollingMaintenance, Placement: fleet.PlaceSwap, MaxInFlight: drainCap},
 		{Placement: fleet.PlaceSwap, Seq: fleet.SeqPolicy{Batched: true, Cap: 4}, ReturnHome: true},
 	}

@@ -63,6 +63,9 @@ type IBSubnet struct {
 	TrainingTime sim.Time
 	// MsgLatency is the per-message end-to-end software+wire latency.
 	MsgLatency sim.Time
+	// ResyncTime is the bounded peer-resync cost of replaying a QP
+	// snapshot (the RDMA-native migration path) instead of re-training.
+	ResyncTime sim.Time
 }
 
 // DefaultIBTrainingTime matches the ≈30 s link-up cost measured in Table II.
@@ -82,6 +85,7 @@ func NewIBSubnet(sw *Switch) *IBSubnet {
 		byLID:        make(map[LID]*HCA),
 		TrainingTime: DefaultIBTrainingTime,
 		MsgLatency:   DefaultIBMsgLatency,
+		ResyncTime:   DefaultQPResyncTime,
 	}
 }
 
@@ -107,6 +111,11 @@ type HCA struct {
 	// stall is extra Polling time consumed by the next PowerOn (fault
 	// injection: link training stuck beyond the normal 30 s window).
 	stall sim.Time
+	// resyncStall / staleQPNext / mismatchNext are one-shot fault arms for
+	// the QP snapshot/replay path (see qpsnap.go).
+	resyncStall  sim.Time
+	staleQPNext  bool
+	mismatchNext bool
 }
 
 // NewHCA creates a powered-down HCA cabled to the subnet's home switch
@@ -255,7 +264,30 @@ type QueuePair struct {
 	remoteQPN QPN
 	connected bool
 	destroyed bool
+	// inflight is posted-but-uncompleted sends (consumes send credit);
+	// completed counts reaped completions. Both are carried across an
+	// RDMA-native migration by the QP snapshot.
+	inflight  uint32
+	completed uint64
 }
+
+// qpSendCreditMax is the modeled send-queue depth (verbs max_send_wr).
+const qpSendCreditMax = 64
+
+// sendCredit returns the remaining send credit (queue depth minus
+// in-flight work requests), floored at zero.
+func (qp *QueuePair) sendCredit() uint32 {
+	if qp.inflight >= qpSendCreditMax {
+		return 0
+	}
+	return qpSendCreditMax - qp.inflight
+}
+
+// Inflight returns the posted-but-uncompleted send count.
+func (qp *QueuePair) Inflight() int { return int(qp.inflight) }
+
+// Completed returns the total reaped send completions.
+func (qp *QueuePair) Completed() uint64 { return qp.completed }
 
 // QPN returns the queue pair number.
 func (qp *QueuePair) QPN() QPN { return qp.num }
@@ -299,8 +331,15 @@ func (qp *QueuePair) PostSend(bytes float64) (*sim.Future[struct{}], error) {
 	fut := sim.NewFuture[struct{}](net.k)
 	flow := net.StartFlow(path, bytes, 0)
 	lat := qp.hca.subnet.MsgLatency
+	qp.inflight++
 	flow.Done().OnDone(func(struct{}) {
-		net.k.Schedule(lat, func() { fut.Set(struct{}{}) })
+		net.k.Schedule(lat, func() {
+			if qp.inflight > 0 {
+				qp.inflight--
+			}
+			qp.completed++
+			fut.Set(struct{}{})
+		})
 	})
 	return fut, nil
 }

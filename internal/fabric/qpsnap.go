@@ -1,0 +1,291 @@
+package fabric
+
+// This file implements QP checkpoint/replay (MigrOS-style,
+// arXiv:2009.06988): instead of destroying queue pairs before a migration
+// and re-training the link after it, the transport's connection state is
+// serialized on the source HCA, shipped with the VM, and replayed onto the
+// destination HCA. Peers are brought back in sync with a short bounded
+// resync message exchange — no detach, no ≈30 s link training.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// DefaultQPResyncTime is the bounded peer-resync cost of replaying a QP
+// snapshot on the destination: a few RTTs of connection-state
+// reconciliation instead of full link training (MigrOS reports
+// sub-second reconnect; we model a conservative constant).
+const DefaultQPResyncTime = 250 * sim.Millisecond
+
+// Errors returned by the snapshot/replay path. All of them are recoverable
+// by demoting the migration to the hotplug rung.
+var (
+	ErrSnapshotCorrupt = errors.New("fabric: qp snapshot corrupt")
+	ErrSnapshotStale   = errors.New("fabric: qp snapshot stale (source QP state changed since capture)")
+	ErrHCAMismatch     = errors.New("fabric: destination HCA incompatible with snapshot")
+	ErrResyncTimeout   = errors.New("fabric: qp resync exceeded its window")
+)
+
+// QPState is one queue pair's portable state: identity, peer addressing,
+// and the send-side accounting (credit left and completions the consumer
+// has not reaped yet) that the destination must replay exactly.
+type QPState struct {
+	QPN        QPN
+	RemoteLID  LID
+	RemoteQPN  QPN
+	Connected  bool
+	SendCredit uint32
+	Pending    uint32
+}
+
+// QPSnapshot is the serialized QP/CQ state of one HCA at the migration
+// stop-point.
+type QPSnapshot struct {
+	HCAName string
+	Epoch   uint64
+	LID     LID
+	QPs     []QPState
+}
+
+// qpSnapMagic/qpSnapVersion frame the wire encoding.
+const (
+	qpSnapMagic   uint32 = 0x4e4a5150 // "NJQP"
+	qpSnapVersion uint16 = 1
+)
+
+// Encode serializes the snapshot deterministically (little-endian, QPs in
+// ascending QPN order as produced by SnapshotQPs).
+func (s *QPSnapshot) Encode() []byte {
+	buf := make([]byte, 0, 24+len(s.HCAName)+16*len(s.QPs))
+	buf = binary.LittleEndian.AppendUint32(buf, qpSnapMagic)
+	buf = binary.LittleEndian.AppendUint16(buf, qpSnapVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, s.Epoch)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(s.LID))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s.HCAName)))
+	buf = append(buf, s.HCAName...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.QPs)))
+	for _, qp := range s.QPs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(qp.QPN))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(qp.RemoteLID))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(qp.RemoteQPN))
+		var flags byte
+		if qp.Connected {
+			flags = 1
+		}
+		buf = append(buf, flags)
+		buf = binary.LittleEndian.AppendUint32(buf, qp.SendCredit)
+		buf = binary.LittleEndian.AppendUint32(buf, qp.Pending)
+	}
+	return buf
+}
+
+// DecodeQPSnapshot parses an encoded snapshot. Corrupted, truncated or
+// trailing-garbage inputs return ErrSnapshotCorrupt; the caller treats any
+// decode failure as a demotion to the hotplug rung, never a crash.
+func DecodeQPSnapshot(data []byte) (*QPSnapshot, error) {
+	if len(data) < 18 {
+		return nil, fmt.Errorf("%w: %d-byte header", ErrSnapshotCorrupt, len(data))
+	}
+	if magic := binary.LittleEndian.Uint32(data[0:4]); magic != qpSnapMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrSnapshotCorrupt, magic)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != qpSnapVersion {
+		return nil, fmt.Errorf("%w: unknown version %d", ErrSnapshotCorrupt, v)
+	}
+	s := &QPSnapshot{
+		Epoch: binary.LittleEndian.Uint64(data[6:14]),
+		LID:   LID(binary.LittleEndian.Uint16(data[14:16])),
+	}
+	nameLen := int(binary.LittleEndian.Uint16(data[16:18]))
+	rest := data[18:]
+	if len(rest) < nameLen+4 {
+		return nil, fmt.Errorf("%w: truncated name", ErrSnapshotCorrupt)
+	}
+	s.HCAName = string(rest[:nameLen])
+	rest = rest[nameLen:]
+	n := int(binary.LittleEndian.Uint32(rest[0:4]))
+	rest = rest[4:]
+	const qpRecBytes = 19
+	if n < 0 || len(rest) != n*qpRecBytes {
+		return nil, fmt.Errorf("%w: %d QP records in %d bytes", ErrSnapshotCorrupt, n, len(rest))
+	}
+	if n > 0 {
+		s.QPs = make([]QPState, n)
+	}
+	for i := 0; i < n; i++ {
+		rec := rest[i*qpRecBytes : (i+1)*qpRecBytes]
+		if rec[10] > 1 {
+			// Only bit 0 (Connected) is defined; anything else is bit rot.
+			return nil, fmt.Errorf("%w: QP record %d flags %#x", ErrSnapshotCorrupt, i, rec[10])
+		}
+		s.QPs[i] = QPState{
+			QPN:        QPN(binary.LittleEndian.Uint32(rec[0:4])),
+			RemoteLID:  LID(binary.LittleEndian.Uint16(rec[4:6])),
+			RemoteQPN:  QPN(binary.LittleEndian.Uint32(rec[6:10])),
+			Connected:  rec[10]&1 != 0,
+			SendCredit: binary.LittleEndian.Uint32(rec[11:15]),
+			Pending:    binary.LittleEndian.Uint32(rec[15:19]),
+		}
+	}
+	return s, nil
+}
+
+// SnapshotQPs captures the HCA's live queue pairs into a portable snapshot.
+// The port must be Active (the transparent path never detaches, so the
+// link is still up at the precopy stop-point); capture on a down or
+// training port returns ErrPortNotActive.
+func (h *HCA) SnapshotQPs() (*QPSnapshot, error) {
+	if h.state != PortActive {
+		return nil, ErrPortNotActive
+	}
+	s := &QPSnapshot{HCAName: h.Name, Epoch: h.epoch, LID: h.lid}
+	qpns := make([]QPN, 0, len(h.qps))
+	for qpn := range h.qps {
+		qpns = append(qpns, qpn)
+	}
+	sort.Slice(qpns, func(i, j int) bool { return qpns[i] < qpns[j] })
+	for _, qpn := range qpns {
+		qp := h.qps[qpn]
+		s.QPs = append(s.QPs, QPState{
+			QPN:        qp.num,
+			RemoteLID:  qp.remoteLID,
+			RemoteQPN:  qp.remoteQPN,
+			Connected:  qp.connected,
+			SendCredit: qp.sendCredit(),
+			Pending:    qp.inflight,
+		})
+	}
+	return s, nil
+}
+
+// RestoreQPs replays a snapshot captured on src onto this (destination)
+// HCA and performs the bounded peer resync: the source's queue pairs are
+// re-homed onto the destination port with fresh QPNs, and every connected
+// peer's reverse path is rewritten to the destination's LID/QPN — the
+// MigrOS connection-update message exchange. Existing *QueuePair handles
+// (the BTL caches) remain valid throughout; nothing above the transport
+// notices the move.
+//
+// limit bounds the resync in simulated time (≤0 uses no bound beyond the
+// subnet's ResyncTime); an injected resync stall past the limit returns
+// ErrResyncTimeout after consuming the window. All errors leave the
+// source's QP state untouched, so the caller can demote to the hotplug
+// rung cleanly.
+func (h *HCA) RestoreQPs(p *sim.Proc, src *HCA, snap *QPSnapshot, limit sim.Time) error {
+	if snap == nil || src == nil {
+		return fmt.Errorf("%w: nil snapshot or source", ErrSnapshotCorrupt)
+	}
+	if h.state != PortActive {
+		return ErrPortNotActive
+	}
+	if h.subnet != src.subnet {
+		// Heterogeneous sites: no common subnet manager, so connection
+		// updates cannot reach the peers. The ladder's hotplug rung applies.
+		return fmt.Errorf("%w: %s and %s are on different subnets", ErrHCAMismatch, src.Name, h.Name)
+	}
+	if h.mismatchNext {
+		h.mismatchNext = false
+		return fmt.Errorf("%w: %s rejects foreign QP state (injected)", ErrHCAMismatch, h.Name)
+	}
+	if src.staleQPNext {
+		src.staleQPNext = false
+		return fmt.Errorf("%w: %s (injected)", ErrSnapshotStale, src.Name)
+	}
+	if snap.Epoch != src.epoch || snap.HCAName != src.Name {
+		return fmt.Errorf("%w: snapshot epoch %d vs %s epoch %d", ErrSnapshotStale, snap.Epoch, src.Name, src.epoch)
+	}
+	// Validate every captured QP is still alive before touching anything:
+	// replay is all-or-nothing.
+	for _, st := range snap.QPs {
+		qp, ok := src.qps[st.QPN]
+		if !ok || qp.destroyed {
+			return fmt.Errorf("%w: QP %d gone from %s", ErrSnapshotStale, st.QPN, src.Name)
+		}
+	}
+
+	// Bounded resync span (connection-update exchange with every peer).
+	resync := h.subnet.ResyncTime.SaturatingAdd(h.resyncStall)
+	h.resyncStall = 0
+	if limit > 0 && resync > limit {
+		p.Sleep(limit)
+		return fmt.Errorf("%w: %s needed %v, window %v", ErrResyncTimeout, h.Name, resync, limit)
+	}
+	p.Sleep(resync)
+
+	if src == h {
+		// Self-migration: the device never moved; resync is a no-op.
+		return nil
+	}
+	for _, st := range snap.QPs {
+		qp := src.qps[st.QPN]
+		delete(src.qps, st.QPN)
+		oldNum := qp.num
+		qp.hca = h
+		qp.epoch = h.epoch
+		qp.num = h.nextQPN
+		h.nextQPN++
+		h.qps[qp.num] = qp
+		if !qp.connected {
+			continue
+		}
+		// Connection update: rewrite the peer's reverse path to point at
+		// the destination port.
+		peer, ok := h.subnet.Lookup(qp.remoteLID)
+		if !ok {
+			continue // peer re-trained meanwhile; its next send fails ErrStaleLID
+		}
+		rqpns := make([]QPN, 0, len(peer.qps))
+		for rqpn := range peer.qps {
+			rqpns = append(rqpns, rqpn)
+		}
+		sort.Slice(rqpns, func(i, j int) bool { return rqpns[i] < rqpns[j] })
+		for _, rqpn := range rqpns {
+			rqp := peer.qps[rqpn]
+			if rqp.connected && rqp.remoteLID == snap.LID && rqp.remoteQPN == oldNum {
+				rqp.remoteLID = h.lid
+				rqp.remoteQPN = qp.num
+			}
+		}
+	}
+	return nil
+}
+
+// DiscardQPs destroys the queue pairs named by snap on this HCA, best
+// effort — the demotion path: the VM has left the source node, so its QP
+// state there is dead even though the replay failed.
+func (h *HCA) DiscardQPs(snap *QPSnapshot) {
+	if snap == nil {
+		return
+	}
+	for _, st := range snap.QPs {
+		if qp, ok := h.qps[st.QPN]; ok {
+			qp.destroyed = true
+			delete(h.qps, st.QPN)
+		}
+	}
+}
+
+// InjectResyncStall extends the next RestoreQPs resync on this
+// (destination) HCA by d — fault injection for the resync-timeout rung of
+// the degradation ladder.
+func (h *HCA) InjectResyncStall(d sim.Time) {
+	if d < 0 {
+		d = 0
+	}
+	h.resyncStall = d
+}
+
+// InjectStaleQPState marks this (source) HCA's next snapshot replay as
+// stale — fault injection modelling QP state that changed between capture
+// and replay (one-shot).
+func (h *HCA) InjectStaleQPState() { h.staleQPNext = true }
+
+// InjectHCAMismatch makes this (destination) HCA reject the next snapshot
+// replay — fault injection modelling incompatible adapter
+// generations/firmware across heterogeneous sites (one-shot).
+func (h *HCA) InjectHCAMismatch() { h.mismatchNext = true }

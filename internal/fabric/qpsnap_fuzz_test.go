@@ -1,0 +1,39 @@
+package fabric
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeQPSnapshot hunts decoder panics with a roundtrip oracle:
+// corrupted, truncated or stale-epoch snapshots must fail cleanly with
+// ErrSnapshotCorrupt (the ladder demotes to the hotplug rung on any decode
+// error — a panic would wedge the migration instead). Any input the decoder
+// accepts must re-encode to exactly the bytes it was decoded from: the wire
+// format has no redundant representations, so decode ∘ encode is the
+// identity on valid snapshots.
+func FuzzDecodeQPSnapshot(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add((&QPSnapshot{}).Encode())
+	f.Add((&QPSnapshot{HCAName: "hca1", Epoch: 1, LID: 1}).Encode())
+	seed := (&QPSnapshot{HCAName: "agc-ib-n00/hca", Epoch: 7, LID: 3, QPs: []QPState{
+		{QPN: 1, RemoteLID: 2, RemoteQPN: 9, Connected: true, SendCredit: 64, Pending: 0},
+		{QPN: 4, RemoteLID: 0, RemoteQPN: 0, Connected: false, SendCredit: 1, Pending: 63},
+	}}).Encode()
+	f.Add(seed)
+	f.Add(seed[:len(seed)-3]) // truncated record
+	f.Add(append(append([]byte{}, seed...), 0))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeQPSnapshot(data)
+		if err != nil {
+			if !errors.Is(err, ErrSnapshotCorrupt) {
+				t.Fatalf("decode failed with %v, want ErrSnapshotCorrupt", err)
+			}
+			return
+		}
+		if again := s.Encode(); !bytes.Equal(again, data) {
+			t.Fatalf("decode/encode not the identity:\n in:  %x\n out: %x", data, again)
+		}
+	})
+}

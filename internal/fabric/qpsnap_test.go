@@ -1,0 +1,455 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// newQPSnapTestbed builds one subnet with a peer HCA, a migration source and
+// a migration destination, all powered and trained. The topology is the same
+// whether or not a test migrates, so connection traces are comparable.
+func newQPSnapTestbed(t *testing.T, k *sim.Kernel) (sub *IBSubnet, peer, src, dst *HCA) {
+	t.Helper()
+	n := NewNetwork(k)
+	sw := n.NewSwitch("ibsw", InfiniBand)
+	sub = NewIBSubnet(sw)
+	peer = sub.NewHCA("peer", 4e9)
+	src = sub.NewHCA("src", 4e9)
+	dst = sub.NewHCA("dst", 4e9)
+	peer.PowerOn()
+	src.PowerOn()
+	dst.PowerOn()
+	return sub, peer, src, dst
+}
+
+// traceSend runs one blocking send and appends a portable record of it —
+// transfer duration plus both QP counters, but no absolute times or LIDs,
+// so traces from different kernels can be compared byte for byte.
+func traceSend(p *sim.Proc, tr *[]string, label string, qp *QueuePair, bytes float64) {
+	start := p.Now()
+	err := qp.Send(p, bytes)
+	*tr = append(*tr, fmt.Sprintf("%s bytes=%g dur=%v err=%v inflight=%d completed=%d",
+		label, bytes, p.Now()-start, err, qp.Inflight(), qp.Completed()))
+}
+
+// qpReplayTrace runs a fixed bidirectional transfer schedule between a QP on
+// src and a QP on peer. With migrate set, the schedule is interrupted halfway
+// by a full snapshot → encode → decode → RestoreQPs move of the source's QPs
+// onto dst; the same *QueuePair handles are used throughout, exercising both
+// the transplant and the peer-side connection update.
+func qpReplayTrace(t *testing.T, migrate bool) []string {
+	t.Helper()
+	k := sim.NewKernel()
+	_, peer, src, dst := newQPSnapTestbed(t, k)
+	var tr []string
+	k.Go("trace", func(p *sim.Proc) {
+		peer.WaitActive(p)
+		src.WaitActive(p)
+		dst.WaitActive(p)
+		qpS, err := src.CreateQP()
+		if err != nil {
+			t.Errorf("CreateQP(src): %v", err)
+			return
+		}
+		qpP, err := peer.CreateQP()
+		if err != nil {
+			t.Errorf("CreateQP(peer): %v", err)
+			return
+		}
+		if err := qpS.Connect(peer.LID(), qpP.QPN()); err != nil {
+			t.Errorf("Connect src->peer: %v", err)
+			return
+		}
+		if err := qpP.Connect(src.LID(), qpS.QPN()); err != nil {
+			t.Errorf("Connect peer->src: %v", err)
+			return
+		}
+
+		// First half of the schedule: establish non-trivial counter state.
+		traceSend(p, &tr, "src->peer", qpS, 1e9)
+		traceSend(p, &tr, "peer->src", qpP, 2e9)
+		traceSend(p, &tr, "src->peer", qpS, 5e8)
+
+		if migrate {
+			snap, err := src.SnapshotQPs()
+			if err != nil {
+				t.Errorf("SnapshotQPs: %v", err)
+				return
+			}
+			// Ship the snapshot over the wire format, like the real path.
+			dec, err := DecodeQPSnapshot(snap.Encode())
+			if err != nil {
+				t.Errorf("DecodeQPSnapshot: %v", err)
+				return
+			}
+			start := p.Now()
+			if err := dst.RestoreQPs(p, src, dec, 0); err != nil {
+				t.Errorf("RestoreQPs: %v", err)
+				return
+			}
+			if got := p.Now() - start; got != DefaultQPResyncTime {
+				t.Errorf("resync took %v, want %v", got, DefaultQPResyncTime)
+			}
+			if qpS.hca != dst {
+				t.Error("QP not re-homed onto destination HCA")
+			}
+			if !qpS.Connected() {
+				t.Error("transplanted QP lost its connection")
+			}
+		}
+
+		// Second half: the same handles, both directions. The peer-side
+		// sends only work after migration if the connection update rewrote
+		// qpP's reverse path to dst's LID/QPN.
+		traceSend(p, &tr, "src->peer", qpS, 1e9)
+		traceSend(p, &tr, "peer->src", qpP, 4e9)
+		traceSend(p, &tr, "src->peer", qpS, 2.5e8)
+		traceSend(p, &tr, "peer->src", qpP, 1e9)
+	})
+	k.Run()
+	return tr
+}
+
+// TestQPReplayOracleTrace is the kernel-oracle check for satellite hardware
+// transparency: a connection that lives through snapshot/replay must produce
+// exactly the trace (per-transfer durations, in-flight and completion
+// counters) of a connection that never migrated.
+func TestQPReplayOracleTrace(t *testing.T) {
+	oracle := qpReplayTrace(t, false)
+	migrated := qpReplayTrace(t, true)
+	if !reflect.DeepEqual(oracle, migrated) {
+		t.Fatalf("replayed trace diverges from never-migrated oracle:\noracle:   %q\nmigrated: %q", oracle, migrated)
+	}
+	if len(oracle) != 7 {
+		t.Fatalf("trace has %d entries, want 7", len(oracle))
+	}
+}
+
+// TestQPSnapshotEncodeDecodeRoundtrip pins the wire format: decode(encode(s))
+// must reproduce the snapshot exactly, including empty and multi-QP shapes.
+func TestQPSnapshotEncodeDecodeRoundtrip(t *testing.T) {
+	for _, s := range []*QPSnapshot{
+		{HCAName: "hca0", Epoch: 0, LID: 1},
+		{HCAName: "agc-ib-n00/hca", Epoch: 42, LID: 9, QPs: []QPState{
+			{QPN: 1, RemoteLID: 3, RemoteQPN: 7, Connected: true, SendCredit: 64, Pending: 0},
+			{QPN: 2, RemoteLID: 0, RemoteQPN: 0, Connected: false, SendCredit: 12, Pending: 52},
+		}},
+	} {
+		got, err := DecodeQPSnapshot(s.Encode())
+		if err != nil {
+			t.Fatalf("decode(encode(%+v)): %v", s, err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Fatalf("roundtrip changed snapshot:\n before: %+v\n after:  %+v", s, got)
+		}
+	}
+}
+
+// TestSnapshotOnDownPort: the transparent path never detaches, so capture on
+// anything but an Active port is a caller bug surfaced as ErrPortNotActive.
+func TestSnapshotOnDownPort(t *testing.T) {
+	k := sim.NewKernel()
+	_, h, _ := newIBTestbed(k)
+	if _, err := h.SnapshotQPs(); !errors.Is(err, ErrPortNotActive) {
+		t.Fatalf("SnapshotQPs on down port: err = %v, want ErrPortNotActive", err)
+	}
+	h.PowerOn() // Polling, not yet Active
+	if _, err := h.SnapshotQPs(); !errors.Is(err, ErrPortNotActive) {
+		t.Fatalf("SnapshotQPs on training port: err = %v, want ErrPortNotActive", err)
+	}
+}
+
+// TestRestoreOntoDownPort: replay needs an Active destination port; a down
+// port demotes to hotplug (which will train it) rather than wedging.
+func TestRestoreOntoDownPort(t *testing.T) {
+	k := sim.NewKernel()
+	_, _, src, dst := newQPSnapTestbed(t, k)
+	dst.PowerOff()
+	k.Go("w", func(p *sim.Proc) {
+		src.WaitActive(p)
+		snap, err := src.SnapshotQPs()
+		if err != nil {
+			t.Errorf("SnapshotQPs: %v", err)
+			return
+		}
+		if err := dst.RestoreQPs(p, src, snap, 0); !errors.Is(err, ErrPortNotActive) {
+			t.Errorf("RestoreQPs onto down port: err = %v, want ErrPortNotActive", err)
+		}
+	})
+	k.Run()
+}
+
+// TestRestoreAfterSourcePowerCycle: a power cycle between capture and replay
+// bumps the source epoch and destroys its QPs — the snapshot is stale.
+func TestRestoreAfterSourcePowerCycle(t *testing.T) {
+	k := sim.NewKernel()
+	_, peer, src, dst := newQPSnapTestbed(t, k)
+	var snap *QPSnapshot
+	k.Go("capture", func(p *sim.Proc) {
+		src.WaitActive(p)
+		peer.WaitActive(p)
+		qpS, _ := src.CreateQP()
+		qpP, _ := peer.CreateQP()
+		if err := qpS.Connect(peer.LID(), qpP.QPN()); err != nil {
+			t.Errorf("Connect: %v", err)
+			return
+		}
+		var err error
+		if snap, err = src.SnapshotQPs(); err != nil {
+			t.Errorf("SnapshotQPs: %v", err)
+		}
+	})
+	k.Run()
+	src.PowerOff()
+	src.PowerOn()
+	k.Go("replay", func(p *sim.Proc) {
+		src.WaitActive(p)
+		if err := dst.RestoreQPs(p, src, snap, 0); !errors.Is(err, ErrSnapshotStale) {
+			t.Errorf("RestoreQPs after source power cycle: err = %v, want ErrSnapshotStale", err)
+		}
+	})
+	k.Run()
+}
+
+// TestRestoreResyncTimeout: an injected resync stall past the caller's window
+// consumes exactly the window, fails with ErrResyncTimeout, and leaves the
+// source's QP state intact so the hotplug rung can take over.
+func TestRestoreResyncTimeout(t *testing.T) {
+	k := sim.NewKernel()
+	_, peer, src, dst := newQPSnapTestbed(t, k)
+	k.Go("w", func(p *sim.Proc) {
+		peer.WaitActive(p)
+		src.WaitActive(p)
+		dst.WaitActive(p)
+		qpS, _ := src.CreateQP()
+		qpP, _ := peer.CreateQP()
+		qpS.Connect(peer.LID(), qpP.QPN())
+		snap, err := src.SnapshotQPs()
+		if err != nil {
+			t.Errorf("SnapshotQPs: %v", err)
+			return
+		}
+		dst.InjectResyncStall(5 * sim.Second)
+		const limit = sim.Second
+		start := p.Now()
+		err = dst.RestoreQPs(p, src, snap, limit)
+		if !errors.Is(err, ErrResyncTimeout) {
+			t.Errorf("err = %v, want ErrResyncTimeout", err)
+		}
+		if got := p.Now() - start; got != limit {
+			t.Errorf("timeout consumed %v, want exactly the %v window", got, limit)
+		}
+		// All-or-nothing: the source QP is untouched and still usable.
+		if qpS.hca != src {
+			t.Error("failed replay moved the QP off the source")
+		}
+		if err := qpS.Send(p, 4e8); err != nil {
+			t.Errorf("send on source after failed replay: %v", err)
+		}
+		// The stall is one-shot: a retry inside the same window succeeds.
+		if err := dst.RestoreQPs(p, src, snap, limit); err != nil {
+			t.Errorf("retry after consumed stall: %v", err)
+		}
+	})
+	k.Run()
+}
+
+// TestRestoreInjectedFaults covers the two remaining injected arms of the
+// degradation ladder: stale source QP state and an incompatible destination
+// HCA. Both are one-shot — the retry succeeds.
+func TestRestoreInjectedFaults(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		inject func(src, dst *HCA)
+		want   error
+	}{
+		{"stale-qp", func(src, _ *HCA) { src.InjectStaleQPState() }, ErrSnapshotStale},
+		{"hca-mismatch", func(_, dst *HCA) { dst.InjectHCAMismatch() }, ErrHCAMismatch},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			k := sim.NewKernel()
+			_, peer, src, dst := newQPSnapTestbed(t, k)
+			k.Go("w", func(p *sim.Proc) {
+				peer.WaitActive(p)
+				src.WaitActive(p)
+				dst.WaitActive(p)
+				qpS, _ := src.CreateQP()
+				qpP, _ := peer.CreateQP()
+				qpS.Connect(peer.LID(), qpP.QPN())
+				snap, err := src.SnapshotQPs()
+				if err != nil {
+					t.Errorf("SnapshotQPs: %v", err)
+					return
+				}
+				tc.inject(src, dst)
+				if err := dst.RestoreQPs(p, src, snap, 0); !errors.Is(err, tc.want) {
+					t.Errorf("err = %v, want %v", err, tc.want)
+				}
+				if qpS.hca != src {
+					t.Error("failed replay moved the QP off the source")
+				}
+				if err := dst.RestoreQPs(p, src, snap, 0); err != nil {
+					t.Errorf("retry after one-shot fault: %v", err)
+				}
+			})
+			k.Run()
+		})
+	}
+}
+
+// TestRestoreAcrossSubnets: heterogeneous sites share no subnet manager, so
+// replay is structurally impossible — ErrHCAMismatch, hotplug rung applies.
+func TestRestoreAcrossSubnets(t *testing.T) {
+	k := sim.NewKernel()
+	_, _, src := newIBTestbed(k)
+	n2 := NewNetwork(k)
+	sw2 := n2.NewSwitch("ibsw2", InfiniBand)
+	sub2 := NewIBSubnet(sw2)
+	dst := sub2.NewHCA("far-hca", 4e9)
+	src.PowerOn()
+	dst.PowerOn()
+	k.Go("w", func(p *sim.Proc) {
+		src.WaitActive(p)
+		dst.WaitActive(p)
+		snap, err := src.SnapshotQPs()
+		if err != nil {
+			t.Errorf("SnapshotQPs: %v", err)
+			return
+		}
+		if err := dst.RestoreQPs(p, src, snap, 0); !errors.Is(err, ErrHCAMismatch) {
+			t.Errorf("cross-subnet replay: err = %v, want ErrHCAMismatch", err)
+		}
+	})
+	k.Run()
+}
+
+// TestSelfRestoreNoOp: replaying onto the source itself (migration that lands
+// back home) pays only the resync and changes nothing.
+func TestSelfRestoreNoOp(t *testing.T) {
+	k := sim.NewKernel()
+	_, peer, src, _ := newQPSnapTestbed(t, k)
+	k.Go("w", func(p *sim.Proc) {
+		peer.WaitActive(p)
+		src.WaitActive(p)
+		qpS, _ := src.CreateQP()
+		qpP, _ := peer.CreateQP()
+		qpS.Connect(peer.LID(), qpP.QPN())
+		before := qpS.QPN()
+		snap, err := src.SnapshotQPs()
+		if err != nil {
+			t.Errorf("SnapshotQPs: %v", err)
+			return
+		}
+		if err := src.RestoreQPs(p, src, snap, 0); err != nil {
+			t.Errorf("self-restore: %v", err)
+			return
+		}
+		if qpS.QPN() != before || qpS.hca != src {
+			t.Errorf("self-restore renumbered or moved the QP (QPN %d -> %d)", before, qpS.QPN())
+		}
+		if err := qpS.Send(p, 4e8); err != nil {
+			t.Errorf("send after self-restore: %v", err)
+		}
+	})
+	k.Run()
+}
+
+// TestRestorePeerRetrainedMeanwhile: if the peer power-cycled between capture
+// and replay its LID is gone; replay still succeeds (the QP moves) but the
+// stale reverse path surfaces as ErrStaleLID on the next send, exactly as if
+// no migration had happened.
+func TestRestorePeerRetrainedMeanwhile(t *testing.T) {
+	k := sim.NewKernel()
+	_, peer, src, dst := newQPSnapTestbed(t, k)
+	var qpS *QueuePair
+	var snap *QPSnapshot
+	k.Go("capture", func(p *sim.Proc) {
+		peer.WaitActive(p)
+		src.WaitActive(p)
+		dst.WaitActive(p)
+		qpS, _ = src.CreateQP()
+		qpP, _ := peer.CreateQP()
+		qpS.Connect(peer.LID(), qpP.QPN())
+		var err error
+		if snap, err = src.SnapshotQPs(); err != nil {
+			t.Errorf("SnapshotQPs: %v", err)
+		}
+	})
+	k.Run()
+	peer.PowerOff()
+	peer.PowerOn()
+	k.Go("replay", func(p *sim.Proc) {
+		peer.WaitActive(p)
+		if err := dst.RestoreQPs(p, src, snap, 0); err != nil {
+			t.Errorf("RestoreQPs: %v", err)
+			return
+		}
+		if qpS.hca != dst {
+			t.Error("QP not re-homed onto destination HCA")
+		}
+		if err := qpS.Send(p, 1e8); !errors.Is(err, ErrStaleLID) {
+			t.Errorf("send to re-trained peer after replay: err = %v, want ErrStaleLID", err)
+		}
+	})
+	k.Run()
+}
+
+// TestDiscardQPs: the demotion path kills the snapshot's QPs on whichever
+// HCA holds them; subsequent sends fail ErrQPDestroyed, and discarding a nil
+// or already-discarded snapshot is a no-op.
+func TestDiscardQPs(t *testing.T) {
+	k := sim.NewKernel()
+	_, peer, src, _ := newQPSnapTestbed(t, k)
+	k.Go("w", func(p *sim.Proc) {
+		peer.WaitActive(p)
+		src.WaitActive(p)
+		qpS, _ := src.CreateQP()
+		qpP, _ := peer.CreateQP()
+		qpS.Connect(peer.LID(), qpP.QPN())
+		snap, err := src.SnapshotQPs()
+		if err != nil {
+			t.Errorf("SnapshotQPs: %v", err)
+			return
+		}
+		src.DiscardQPs(nil) // no-op
+		src.DiscardQPs(snap)
+		if _, err := qpS.PostSend(1); !errors.Is(err, ErrQPDestroyed) {
+			t.Errorf("PostSend after discard: err = %v, want ErrQPDestroyed", err)
+		}
+		src.DiscardQPs(snap) // idempotent
+	})
+	k.Run()
+}
+
+// TestDecodeQPSnapshotCorrupt enumerates the malformed-input classes the
+// fuzz harness explores: every one must fail ErrSnapshotCorrupt, never panic.
+func TestDecodeQPSnapshotCorrupt(t *testing.T) {
+	good := (&QPSnapshot{HCAName: "h", Epoch: 3, LID: 5, QPs: []QPState{
+		{QPN: 1, RemoteLID: 2, RemoteQPN: 3, Connected: true, SendCredit: 60, Pending: 4},
+	}}).Encode()
+	badMagic := append([]byte{}, good...)
+	badMagic[0] ^= 0xff
+	badVersion := append([]byte{}, good...)
+	badVersion[4] = 0xfe
+	cases := map[string][]byte{
+		"empty":             nil,
+		"short-header":      good[:10],
+		"bad-magic":         badMagic,
+		"bad-version":       badVersion,
+		"truncated-name":    good[:17],
+		"truncated-records": good[:len(good)-5],
+		"trailing-garbage":  append(append([]byte{}, good...), 0xaa),
+	}
+	for name, data := range cases {
+		if _, err := DecodeQPSnapshot(data); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Errorf("%s: err = %v, want ErrSnapshotCorrupt", name, err)
+		}
+	}
+	if _, err := DecodeQPSnapshot(good); err != nil {
+		t.Fatalf("control: valid snapshot failed to decode: %v", err)
+	}
+}

@@ -52,12 +52,28 @@ const (
 	// toward it abort). For > 0 restores it at At+For. Target: node
 	// (empty = the first node in the environment's victim list).
 	KindNodeCrash Kind = "node-crash"
+	// KindQPResyncStall delays the next RDMA-native QP resync on the
+	// targeted HCA by For (default 10 s) — enough to blow the orchestration
+	// resync window and demote that VM to the hotplug rung. Target: node
+	// (the migration destination; empty = every HCA).
+	KindQPResyncStall Kind = "qp-resync-stall"
+	// KindQPStale marks the targeted HCA's next QP snapshot as stale at
+	// restore time (epoch skew between capture and replay), demoting the
+	// RDMA-native rung. Target: node (the migration *source*; empty =
+	// every HCA).
+	KindQPStale Kind = "qp-stale"
+	// KindHCAMismatch makes the targeted HCA reject the next QP restore as
+	// incompatible hardware (heterogeneous sites: different HCA
+	// generation/firmware), demoting the RDMA-native rung. Target: node
+	// (the migration destination; empty = every HCA).
+	KindHCAMismatch Kind = "hca-mismatch"
 )
 
 // knownKinds lists every Kind for validation and help text.
 var knownKinds = []Kind{
 	KindMigrateAbort, KindQMPError, KindDropEvent, KindTrainStall,
 	KindLinkFlap, KindNFSSlow, KindNFSOutage, KindNodeCrash,
+	KindQPResyncStall, KindQPStale, KindHCAMismatch,
 }
 
 // Spec is one scripted fault.
@@ -106,6 +122,13 @@ func (s Spec) window() sim.Time {
 func (s Spec) stall() sim.Time {
 	if s.For <= 0 {
 		return 120 * sim.Second
+	}
+	return s.For
+}
+
+func (s Spec) resyncStall() sim.Time {
+	if s.For <= 0 {
+		return 10 * sim.Second
 	}
 	return s.For
 }
@@ -204,6 +227,9 @@ var Builtin = map[string]string{
 	"nfs-slow":            "nfs-slow@30s+60s:factor=10",
 	"nfs-outage":          "nfs-outage@30s+45s",
 	"node-crash":          "node-crash@20s",
+	"qp-resync-stall":     "qp-resync-stall+10s",
+	"qp-stale":            "qp-stale:count=1",
+	"hca-mismatch":        "hca-mismatch:count=1",
 }
 
 // BuiltinNames returns the builtin plan names, sorted.

@@ -144,6 +144,42 @@ func (in *Injector) Arm() error {
 			})
 			in.schedule(s.At+w, func() { store.SetOffline(false) })
 
+		case KindQPResyncStall:
+			hcas, err := in.pickHCAs(s.Target)
+			if err != nil {
+				return err
+			}
+			in.schedule(s.At, func() {
+				for _, t := range hcas {
+					t.hca.InjectResyncStall(s.resyncStall())
+					in.log(s.Kind, t.name, fmt.Sprintf("next QP resync stalls +%v", s.resyncStall()))
+				}
+			})
+
+		case KindQPStale:
+			hcas, err := in.pickHCAs(s.Target)
+			if err != nil {
+				return err
+			}
+			in.schedule(s.At, func() {
+				for _, t := range hcas {
+					t.hca.InjectStaleQPState()
+					in.log(s.Kind, t.name, "next QP snapshot replays stale")
+				}
+			})
+
+		case KindHCAMismatch:
+			hcas, err := in.pickHCAs(s.Target)
+			if err != nil {
+				return err
+			}
+			in.schedule(s.At, func() {
+				for _, t := range hcas {
+					t.hca.InjectHCAMismatch()
+					in.log(s.Kind, t.name, "next QP restore rejected: incompatible HCA")
+				}
+			})
+
 		case KindNodeCrash:
 			node, err := in.pickNode(s.Target)
 			if err != nil {

@@ -230,6 +230,11 @@ func (e *Executor) Start() (*sim.Future[Report], error) {
 		// storage link the checkpoints stream through.
 		e.opts.Model.Cold = true
 	}
+	if e.opts.Mode == ninja.RDMANative {
+		// QP replay keeps devices attached: replanned and re-queued
+		// mini-plans must not price the hotplug/link-up fixed terms.
+		e.opts.Model.RDMANative = true
+	}
 	e.begun = true
 	fut := sim.NewFuture[Report](e.k)
 	e.k.Go("fleet-executor", func(p *sim.Proc) {
@@ -494,6 +499,10 @@ func (e *Executor) runJob(p *sim.Proc, mig *Migration, batch int) JobOutcome {
 	switch {
 	case e.opts.Mode == ninja.Cold:
 		out.Report, out.Err = mig.Job.Orch.ColdMigrate(p, mig.Dsts)
+	case e.opts.Mode == ninja.RDMANative && mig.Job.IBCapable:
+		// The orchestrator demotes to the hotplug rung per VM (or in
+		// preflight) when QP replay cannot proceed.
+		out.Report, out.Err = mig.Job.Orch.RDMAMigrate(p, mig.Dsts)
 	case mig.Job.IBCapable:
 		out.Report, out.Err = mig.Job.Orch.MigratePolicy(p, mig.Dsts, ninja.AttachAuto)
 	default:

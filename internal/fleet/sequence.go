@@ -31,6 +31,13 @@ type CostModel struct {
 	// it. Executor.Start sets this automatically when Options.Mode is
 	// ninja.Cold.
 	Cold bool
+	// RDMANative marks QP checkpoint/replay pricing: passthrough devices
+	// stay attached across the move, so IB-capable jobs pay neither the
+	// hotplug fan-out nor the ≈30 s link-training term — the bounded QP
+	// resync is sub-second and disappears into the coordination estimate.
+	// Executor.Start sets this automatically when Options.Mode is
+	// ninja.RDMANative.
+	RDMANative bool
 }
 
 // DefaultCostModel returns the calibrated planning estimates.
@@ -109,7 +116,7 @@ func (t *Topology) MigrationOf(j *Job, dsts []*hw.Node, m CostModel) *Migration 
 			dstIB = true
 		}
 	}
-	if j.IBCapable {
+	if j.IBCapable && !m.RDMANative {
 		mig.Fixed += m.Hotplug
 		if dstIB {
 			mig.Fixed += m.IBLinkup

@@ -26,6 +26,9 @@ const (
 	// EventDegraded: the orchestrator abandoned InfiniBand for this VM and
 	// let the MPI layer reconstruct over TCP.
 	EventDegraded EventKind = "degraded-to-tcp"
+	// EventRDMADemoted: the RDMA-native rung failed (preflight or QP
+	// replay) and the run demoted to the hotplug rung.
+	EventRDMADemoted EventKind = "rdma-demoted"
 	// EventSpareUsed: a failed destination was replaced by a spare node.
 	EventSpareUsed EventKind = "spare-node"
 	// EventRollback: the script gave up and rolled the job back in place.

@@ -93,14 +93,20 @@ func (r *Rank) ftHandler(p *sim.Proc) {
 	j.Barrier(p)
 	lap(&stats.Coordination)
 
-	// 2. Pre-checkpoint: release interconnect resources.
+	// 2. Pre-checkpoint: release interconnect resources. A transparent
+	// (RDMA-native) checkpoint skips the release — the queue pairs migrate
+	// with the VM inside the transport, so tearing them down here would
+	// defeat the whole mode.
+	transparent := j.transparentCkpt
 	r.hadOpenIB = false
 	for _, m := range r.btls.Modules() {
 		if m.Name() == "openib" && m.Usable() {
 			r.hadOpenIB = true
 		}
 	}
-	r.btls.ReleaseAll()
+	if !transparent {
+		r.btls.ReleaseAll()
+	}
 
 	// 3. Checkpoint hook (SymVirt wait: detach phase).
 	r.vm.Guest().SetAppFrozen(true)
@@ -112,11 +118,18 @@ func (r *Rank) ftHandler(p *sim.Proc) {
 	r.vm.Guest().SetAppFrozen(false)
 	lap(&stats.Continue)
 
-	// 5. BTL reconstruction.
-	if r.hadOpenIB || j.cfg.ContinueLikeRestart {
+	// 5. BTL reconstruction. Re-read the transparent flag: the
+	// orchestrator clears it mid-checkpoint when the QP replay failed and
+	// the run demoted to the hotplug rung — then the cached queue pairs
+	// are stale and a full reconstruction is mandatory.
+	switch {
+	case transparent && j.transparentCkpt:
+		// RDMA-native: the queue pairs moved with the VM; nothing was
+		// released and nothing needs rebuilding.
+	case transparent || r.hadOpenIB || j.cfg.ContinueLikeRestart:
 		r.btls.Reconstruct()
 		stats.Reconstructed = true
-	} else {
+	default:
 		// Continue-without-restart: sockets survived; just resume the
 		// released modules with their previous selection intact.
 		for _, m := range r.btls.Modules() {

@@ -55,6 +55,14 @@ type Job struct {
 	ckptDone    *sim.Future[struct{}]
 	ckptJoined  int
 	ckptStats   []CkptPhaseTimes
+	// transparentCkpt marks the in-flight checkpoint as
+	// interconnect-transparent (RDMA-native migration): the BTLs keep
+	// their queue pairs — the transport migrates them underneath the
+	// runtime — so the pre-checkpoint release and post-continue
+	// reconstruction are skipped. The orchestrator clears the flag
+	// mid-checkpoint when the QP replay demotes to the hotplug rung, in
+	// which case the continue path reconstructs as usual.
+	transparentCkpt bool
 
 	nextCommID int
 }
@@ -112,6 +120,16 @@ func (j *Job) RanksPerVM() int { return j.cfg.RanksPerVM }
 // SetContinueLikeRestart toggles the ompi_cr_continue_like_restart knob at
 // runtime (the paper sets it before a recovery migration).
 func (j *Job) SetContinueLikeRestart(v bool) { j.cfg.ContinueLikeRestart = v }
+
+// SetTransparentCkpt marks the next (or in-flight) checkpoint as
+// interconnect-transparent: BTL modules are neither released nor
+// reconstructed because the queue pairs themselves migrate with the VM
+// (the RDMA-native mode). Clearing it mid-checkpoint demotes the continue
+// path back to a full BTL reconstruction.
+func (j *Job) SetTransparentCkpt(v bool) { j.transparentCkpt = v }
+
+// TransparentCkpt reports whether the transparent-checkpoint flag is set.
+func (j *Job) TransparentCkpt() bool { return j.transparentCkpt }
 
 // Launch starts fn as one simulated process per rank and returns a future
 // resolving when every rank's function has returned.

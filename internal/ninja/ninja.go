@@ -44,6 +44,28 @@ const (
 	OutcomeRolledBack Outcome = "rolled-back-in-place"
 )
 
+// RungMode names the degradation-ladder rung a run terminated on. The
+// ladder is rdma-native → hotplug → TCP → rollback-in-place: a clean
+// RDMA-native run replays QP state with no hotplug and no link training; a
+// failed replay or preflight falls back to the classic hotplug script;
+// failed re-attach/link-up degrades to the tcp BTL; an unrecoverable
+// script failure rolls the job back where it was.
+type RungMode string
+
+const (
+	// ModeRDMANative: QP checkpoint/replay carried the transport across;
+	// no detach, no hotplug, no link training.
+	ModeRDMANative RungMode = "rdma-native"
+	// ModeHotplug: the classic detach → migrate → attach → link-up script
+	// (or an RDMA-native run whose replay demoted to it).
+	ModeHotplug RungMode = "hotplug"
+	// ModeTCP: the job ended the run on the tcp BTL (degraded, attach
+	// skipped, or an Ethernet destination).
+	ModeTCP RungMode = "tcp"
+	// ModeRollback: the run aborted and the job resumed in place.
+	ModeRollback RungMode = "rollback"
+)
+
 // Report is one Ninja migration's overhead breakdown — the categories of
 // Figs. 4, 6 and 7: coordination, hotplug (detach + attach + confirm),
 // migration, and link-up — plus the robustness outcome of the run.
@@ -71,6 +93,12 @@ type Report struct {
 	// Outcome classifies the run (clean / retried-ok / degraded-to-tcp /
 	// rolled-back-in-place).
 	Outcome Outcome
+	// Mode is the degradation-ladder rung the run terminated on
+	// (rdma-native / hotplug / tcp / rollback).
+	Mode RungMode
+	// RDMADemoted counts VMs whose QP replay failed and fell back to the
+	// hotplug rung (RDMA-native runs only).
+	RDMADemoted int
 	// Retries counts successful re-attempts (phases and per-VM ops).
 	Retries int
 	// SparesUsed counts destinations replaced from the spare pool.
@@ -238,12 +266,28 @@ const (
 	// bandwidth for (shared) storage bandwidth and works even when the
 	// source is about to disappear.
 	Cold
+	// RDMANative keeps the passthrough HCA attached across the move and
+	// replays its QP state on the destination (MigrOS-style QP
+	// checkpoint/replay): no DEVICE_DELETED, no hotplug, no ≈30 s link
+	// training — a short bounded resync instead. Requires an HCA on both
+	// ends; anything else demotes to the hotplug rung before the script
+	// commits.
+	RDMANative
 )
 
 // ColdMigrate runs the Ninja script with checkpoint/restart transfer
 // instead of live migration.
 func (o *Orchestrator) ColdMigrate(p *sim.Proc, dsts []*hw.Node) (Report, error) {
 	return o.run(p, dsts, AttachAuto, Cold)
+}
+
+// RDMAMigrate runs the Ninja script in RDMA-native mode: the passthrough
+// device stays attached, QP state is checkpointed at the stop-point and
+// replayed on the destination HCA. Preflight failures (no attached device,
+// destination without an HCA) and per-VM replay failures demote to the
+// hotplug rung rather than failing; the terminal rung is in Report.Mode.
+func (o *Orchestrator) RDMAMigrate(p *sim.Proc, dsts []*hw.Node) (Report, error) {
+	return o.run(p, dsts, AttachAuto, RDMANative)
 }
 
 // MigratePolicy is Migrate with an explicit re-attach policy.
@@ -279,10 +323,33 @@ func (o *Orchestrator) run(p *sim.Proc, dsts []*hw.Node, policy AttachPolicy, mo
 	evMark := o.events.Len()
 	start := p.Now()
 
+	// Rung selection: RDMA-native runs only commit to the top rung when
+	// every VM has its passthrough device and every destination has an
+	// HCA; otherwise the run demotes to the classic hotplug script before
+	// the checkpoint is even requested.
+	rdmaRequested := mode == RDMANative
+	rdmaPreflightDemoted := false
+	rdmaDemotions := 0
+	if mode == RDMANative {
+		if reason := o.rdmaPreflightFailure(dsts); reason != "" {
+			o.events.Record(metrics.EventRDMADemoted, "preflight", "", reason)
+			mode = Live
+			rdmaPreflightDemoted = true
+		} else {
+			// The flag must be up before any rank enters its ft_event
+			// sequence, or the BTLs release the very queue pairs the
+			// replay is about to ship.
+			o.job.SetTransparentCkpt(true)
+			defer o.job.SetTransparentCkpt(false)
+		}
+	}
+
 	finish := func(out Outcome) {
 		rep.Retries, rep.SparesUsed, rep.DegradedToTCP = o.retries, o.sparesUsed, o.degraded
+		rep.RDMADemoted = rdmaDemotions
 		rep.Events = append([]metrics.Event(nil), o.events.Since(evMark)...)
 		rep.Outcome = out
+		rep.Mode = o.terminalRung(out, policy, rdmaRequested, rdmaPreflightDemoted, rdmaDemotions)
 		rep.Total = p.Now() - start
 	}
 	classify := func() Outcome {
@@ -376,14 +443,17 @@ func (o *Orchestrator) run(p *sim.Proc, dsts []*hw.Node, policy AttachPolicy, mo
 	// Phase 1 — detach VMM-bypass devices. Retried under a watchdog: a
 	// lost DEVICE_DELETED leaves an agent waiting forever, but the
 	// device is actually gone, so the re-run observes it missing and
-	// completes immediately.
+	// completes immediately. RDMA-native skips the detach outright — the
+	// device rides along and its QP state is replayed at the stop-point.
 	mark := p.Now()
-	if err := o.retryPhase(p, "detach", detachT, func(wp *sim.Proc) error {
-		return o.ctl.DeviceDetach(wp, DeviceTag)
-	}); err != nil {
-		return abort(stageDetach, "detach", err)
+	if mode != RDMANative {
+		if err := o.retryPhase(p, "detach", detachT, func(wp *sim.Proc) error {
+			return o.ctl.DeviceDetach(wp, DeviceTag)
+		}); err != nil {
+			return abort(stageDetach, "detach", err)
+		}
+		rep.Detach = p.Now() - mark
 	}
-	rep.Detach = p.Now() - mark
 	// TokenProceed ends the checkpoint callback; the guests immediately
 	// re-enter SymVirt wait from the continue callback.
 	if err := o.ctl.Signal(symvirt.TokenProceed); err != nil {
@@ -401,6 +471,31 @@ func (o *Orchestrator) run(p *sim.Proc, dsts []*hw.Node, policy AttachPolicy, mo
 	}
 	mark = p.Now()
 	switch mode {
+	case RDMANative:
+		var stats []vmm.MigrationStats
+		err := o.watch(p, "rdma migration", migT, func(wp *sim.Proc) error {
+			st, e := o.ctl.MigrateTransparent(wp, dsts, o.resyncTimeout())
+			stats = st
+			return e
+		})
+		if err != nil && pol != nil {
+			stats, err = o.recoverTransparent(p, dsts, stats, err)
+		}
+		rep.VMStats = stats
+		if err != nil {
+			return abort(stageMigrate, "rdma migration", err)
+		}
+		for i, st := range stats {
+			if st.RDMA != nil && st.RDMA.Demoted {
+				rdmaDemotions++
+				o.events.Record(metrics.EventRDMADemoted, "resync", o.tgts[i].VM.Name(), st.RDMA.DemoteReason)
+			}
+		}
+		if rdmaDemotions > 0 {
+			// Demoted VMs hold stale QP caches; dropping the transparent
+			// flag makes the continue path run a full BTL reconstruction.
+			o.job.SetTransparentCkpt(false)
+		}
 	case Cold:
 		var stats []vmm.ColdStats
 		err := o.watch(p, "cold migration", migT, func(wp *sim.Proc) error {
@@ -434,8 +529,9 @@ func (o *Orchestrator) run(p *sim.Proc, dsts []*hw.Node, policy AttachPolicy, mo
 
 	// Phase 3 — re-attach wherever the VMs actually landed (spare
 	// substitution may have changed the plan) on HCA-equipped nodes.
+	// RDMA-native never detached, so there is nothing to re-attach.
 	needAttach := false
-	if policy == AttachAuto {
+	if policy == AttachAuto && mode != RDMANative {
 		for _, t := range o.tgts {
 			if t.VM.Node().HCA != nil {
 				needAttach = true
@@ -528,6 +624,99 @@ func (o *Orchestrator) recoverLive(p *sim.Proc, dsts []*hw.Node, stats []vmm.Mig
 			}
 			lastErr = err
 			o.events.Record(metrics.EventPhaseError, "migration", t.VM.Name(), err.Error())
+		}
+		if lastErr != nil {
+			return stats, lastErr
+		}
+	}
+	return stats, nil
+}
+
+// rdmaPreflightFailure checks the RDMA-native preconditions across the
+// job: every VM holds its passthrough device and every cross-node
+// destination has an HCA. It returns a human-readable reason on the first
+// violation, or "" when the top rung can be attempted.
+func (o *Orchestrator) rdmaPreflightFailure(dsts []*hw.Node) string {
+	for i, t := range o.tgts {
+		if _, _, ok := t.VM.Bus().FindByTag(DeviceTag); !ok {
+			return fmt.Sprintf("%s: no passthrough device attached", t.VM.Name())
+		}
+		if _, ok := t.VM.Guest().IBDevice(); !ok {
+			return fmt.Sprintf("%s: no HCA bound in guest", t.VM.Name())
+		}
+		if dsts[i] != t.VM.Node() && dsts[i].HCA == nil {
+			return fmt.Sprintf("%s: destination %s has no HCA", t.VM.Name(), dsts[i].Name)
+		}
+	}
+	return ""
+}
+
+// terminalRung classifies which ladder rung the run ended on.
+func (o *Orchestrator) terminalRung(out Outcome, policy AttachPolicy, rdmaRequested, rdmaPreflightDemoted bool, rdmaDemotions int) RungMode {
+	switch {
+	case out == OutcomeRolledBack:
+		return ModeRollback
+	case out == OutcomeDegradedTCP:
+		return ModeTCP
+	case rdmaRequested && !rdmaPreflightDemoted && rdmaDemotions == 0:
+		return ModeRDMANative
+	case policy == AttachNever:
+		return ModeTCP
+	default:
+		// Hotplug script: if no guest ends the run with a usable HCA
+		// (Ethernet destination), the job is effectively on the tcp BTL.
+		for _, t := range o.tgts {
+			if t.VM.Guest().IBUsable() {
+				return ModeHotplug
+			}
+		}
+		return ModeTCP
+	}
+}
+
+func (o *Orchestrator) resyncTimeout() sim.Time {
+	if o.opts.Retry == nil {
+		return 0 // use the VMM's default resync window
+	}
+	return o.opts.Retry.ResyncTimeout
+}
+
+// recoverTransparent is recoverLive for the RDMA-native fan-out: failed
+// per-VM migrations are retried through the transparent path (replay
+// demotions are not failures — they surface in the stats, not here).
+func (o *Orchestrator) recoverTransparent(p *sim.Proc, dsts []*hw.Node, stats []vmm.MigrationStats, fanErr error) ([]vmm.MigrationStats, error) {
+	pol := o.opts.Retry
+	if stats == nil {
+		stats = make([]vmm.MigrationStats, len(o.tgts))
+	}
+	for i, t := range o.tgts {
+		failed := stats[i].Err != nil || t.VM.Node() != dsts[i]
+		if !failed {
+			continue
+		}
+		lastErr := stats[i].Err
+		if lastErr == nil {
+			lastErr = fmt.Errorf("ninja: %s not on destination after fan-out: %w", t.VM.Name(), fanErr)
+		}
+		backoff := pol.Backoff
+		for attempt := 2; attempt <= pol.attempts(); attempt++ {
+			if backoff > 0 {
+				p.Sleep(backoff)
+				backoff = pol.nextBackoff(backoff)
+			}
+			o.substituteSpare(dsts, i, t.VM.Name(), "rdma migration")
+			o.events.Record(metrics.EventRetry, "rdma migration", t.VM.Name(),
+				fmt.Sprintf("attempt %d/%d -> %s", attempt, pol.attempts(), dsts[i].Name))
+			st, err := o.ctl.MigrateTransparentOne(p, i, dsts[i], o.resyncTimeout())
+			if err == nil {
+				stats[i] = st
+				o.retries++
+				o.events.Record(metrics.EventRetryOK, "rdma migration", t.VM.Name(), "")
+				lastErr = nil
+				break
+			}
+			lastErr = err
+			o.events.Record(metrics.EventPhaseError, "rdma migration", t.VM.Name(), err.Error())
 		}
 		if lastErr != nil {
 			return stats, lastErr

@@ -44,6 +44,11 @@ type RetryPolicy struct {
 	// DegradeToTCP false, simply proceeds without InfiniBand — the BTL
 	// layer falls back to tcp on its own).
 	LinkupTimeout sim.Time
+	// ResyncTimeout bounds the destination-side QP resync of an
+	// RDMA-native migration (the top rung): a replay that would exceed it
+	// demotes that VM to the hotplug rung. ≤0 uses the VMM's default
+	// window (Params.RDMAResyncTimeout).
+	ResyncTimeout sim.Time
 
 	// DegradeToTCP selects graceful degradation over rollback when the
 	// re-attach or link-up step is what failed: the job continues on the
@@ -65,6 +70,7 @@ func DefaultRetryPolicy() RetryPolicy {
 		MigrateTimeout: 1800 * sim.Second,
 		AttachTimeout:  60 * sim.Second,
 		LinkupTimeout:  90 * sim.Second,
+		ResyncTimeout:  2 * sim.Second,
 		DegradeToTCP:   true,
 	}
 }

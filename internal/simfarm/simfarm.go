@@ -28,6 +28,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/fleet"
+	"repro/internal/ninja"
 	"repro/internal/sim"
 )
 
@@ -321,10 +322,12 @@ func (m Matrix) Cells() []Cell {
 	return out
 }
 
-// DefaultMatrix is the ext-sweep matrix: four directive/policy shapes
+// DefaultMatrix is the ext-sweep matrix: five directive/policy shapes
 // (sequential greedy evacuation, batched swap-refined evacuation, a
-// capped rolling-maintenance drain, and a swap-refined evacuation
-// sequenced by the time-expanded max-flow planner) crossed with three
+// capped rolling-maintenance drain, a swap-refined evacuation sequenced
+// by the time-expanded max-flow planner, and a batched swap-refined
+// evacuation in RDMA-native mode — QP replay instead of hotplug for the
+// IB-capable half of the fleet) crossed with three
 // fault plans (fault free, a jittered crash of a seeded destination
 // node, and a precopy socket drop against a seeded victim VM). jobs
 // sizes each cell's fleet (0 = 4 jobs — smaller than the ext-fleet
@@ -366,6 +369,15 @@ func DefaultMatrix(jobs, seeds int) Matrix {
 				Sc: experiments.FleetScenario{
 					Placement: fleet.PlaceSwap,
 					Seq:       fleet.SeqPolicy{Batched: true, Mode: fleet.SeqMaxFlow},
+				},
+			},
+			{
+				Name: "evac-swap-rdma",
+				Cfg:  cfg,
+				Sc: experiments.FleetScenario{
+					Placement: fleet.PlaceSwap,
+					Seq:       fleet.SeqPolicy{Batched: true, Cap: 4},
+					Mode:      ninja.RDMANative,
 				},
 			},
 		},

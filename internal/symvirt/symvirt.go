@@ -260,6 +260,44 @@ func (c *Controller) MigrateOne(p *sim.Proc, idx int, dst *hw.Node) (vmm.Migrati
 	return st, st.Err
 }
 
+// MigrateTransparent live-migrates every VM RDMA-natively (QP
+// checkpoint/replay; the passthrough device never detaches) to the
+// corresponding destination node, in parallel. resyncLimit bounds each
+// VM's destination-side QP resync (≤0 uses the VMM default). Per-VM
+// replay demotions are recorded in the stats, not surfaced as errors.
+func (c *Controller) MigrateTransparent(p *sim.Proc, dsts []*hw.Node, resyncLimit sim.Time) ([]vmm.MigrationStats, error) {
+	if len(dsts) != len(c.targets) {
+		return nil, fmt.Errorf("%w: %d destinations for %d VMs", ErrScriptOrder, len(dsts), len(c.targets))
+	}
+	stats := make([]vmm.MigrationStats, len(c.targets))
+	err := c.agentFanout(p, "migrate-rdma", func(ap *sim.Proc, t Target) error {
+		idx := indexOf(c.targets, t)
+		fut, err := t.VM.Monitor().MigrateTransparent(dsts[idx], resyncLimit)
+		if err != nil {
+			stats[idx].Err = err
+			return err
+		}
+		stats[idx] = fut.Wait(ap)
+		return stats[idx].Err
+	})
+	return stats, err
+}
+
+// MigrateTransparentOne RDMA-natively migrates a single target (by index)
+// to dst — the per-VM retry primitive for the transparent fan-out.
+func (c *Controller) MigrateTransparentOne(p *sim.Proc, idx int, dst *hw.Node, resyncLimit sim.Time) (vmm.MigrationStats, error) {
+	if idx < 0 || idx >= len(c.targets) {
+		return vmm.MigrationStats{}, fmt.Errorf("%w: migrate index %d of %d", ErrScriptOrder, idx, len(c.targets))
+	}
+	t := c.targets[idx]
+	fut, err := t.VM.Monitor().MigrateTransparent(dst, resyncLimit)
+	if err != nil {
+		return vmm.MigrationStats{}, err
+	}
+	st := fut.Wait(p)
+	return st, st.Err
+}
+
 // ColdMigrate checkpoint/restarts every VM through the shared store
 // (savevm on the source, loadvm on the destination) — the paper's
 // proactive fault-tolerance path. Returns per-VM stats in target order.

@@ -1,10 +1,12 @@
 package vmm
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/fabric"
 	"repro/internal/hw"
+	"repro/internal/pci"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -27,6 +29,27 @@ type MigrationStats struct {
 	// socket drop, destination failure): the VM stayed on the source and
 	// kept running.
 	Err error
+	// RDMA is the QP checkpoint/replay leg of a transparent (RDMA-native)
+	// migration; nil for the classic hotplug path.
+	RDMA *RDMAStats
+}
+
+// RDMAStats records the QP checkpoint/replay leg of an RDMA-native
+// migration: the snapshot shipped with the VM and the bounded resync that
+// replaces link training on the destination.
+type RDMAStats struct {
+	// QPs is the number of queue pairs replayed onto the destination HCA.
+	QPs int
+	// SnapshotBytes is the encoded QPSnapshot size carried in the
+	// migration stream.
+	SnapshotBytes int
+	// Resync is the destination-side resync span (≪ the ≈30 s training).
+	Resync sim.Time
+	// Demoted reports that the replay failed and the VM fell back to the
+	// hotplug rung on the destination (driver reset + full link training).
+	Demoted bool
+	// DemoteReason is the replay error that forced the demotion.
+	DemoteReason string
 }
 
 // Migrate starts a precopy live migration of the VM to dst. It returns an
@@ -65,7 +88,56 @@ func (vm *VM) Migrate(dst *hw.Node) (*sim.Future[MigrationStats], error) {
 	vm.migActive = true
 	fut := sim.NewFuture[MigrationStats](vm.k)
 	vm.k.Go(vm.Name()+"/migration", func(p *sim.Proc) {
-		stats := vm.runMigration(p, src, dst)
+		stats := vm.runMigration(p, src, dst, false, 0)
+		vm.migActive = false
+		vm.migs = append(vm.migs, stats)
+		fut.Set(stats)
+	})
+	return fut, nil
+}
+
+// ErrNoRDMAPath reports that a transparent migration was requested but the
+// RDMA-native preconditions do not hold: the guest must own a passthrough
+// HCA and the destination node must have one too.
+var ErrNoRDMAPath = errors.New("vmm: rdma-native migration needs a passthrough HCA on source and destination")
+
+// MigrateTransparent starts an RDMA-native live migration to dst: the
+// passthrough HCA stays attached (no DEVICE_DELETED, no hotplug), the
+// guest's queue pairs are quiesced and snapshotted at the precopy
+// stop-point, and the snapshot is replayed onto the destination HCA with a
+// short bounded resync instead of full link training (MigrOS-style).
+// resyncLimit bounds the resync (≤0 uses Params.RDMAResyncTimeout); a
+// failed replay demotes the VM to the hotplug rung on the destination —
+// recorded in MigrationStats.RDMA, never an error.
+//
+// Unlike Migrate, an attached passthrough device is required rather than
+// forbidden; the remaining preconditions are identical.
+func (vm *VM) MigrateTransparent(dst *hw.Node, resyncLimit sim.Time) (*sim.Future[MigrationStats], error) {
+	if vm.migActive {
+		return nil, ErrMigrating
+	}
+	if vm.saved {
+		return nil, ErrAlreadySaved
+	}
+	src := vm.node
+	if vm.guest.ib == nil || (dst != src && dst.HCA == nil) {
+		return nil, fmt.Errorf("%w: %s -> %s", ErrNoRDMAPath, vm.Name(), dst.Name)
+	}
+	if dst != src {
+		if dst.Failed() {
+			return nil, fmt.Errorf("vmm: migrate %s: destination %s is down", vm.Name(), dst.Name)
+		}
+		if vm.store != nil && !vm.store.SharedBy(src, dst) {
+			return nil, storage.ErrNotShared
+		}
+		if err := dst.AllocMemory(vm.cfg.MemoryBytes); err != nil {
+			return nil, fmt.Errorf("vmm: migrate %s: %w", vm.Name(), err)
+		}
+	}
+	vm.migActive = true
+	fut := sim.NewFuture[MigrationStats](vm.k)
+	vm.k.Go(vm.Name()+"/migration", func(p *sim.Proc) {
+		stats := vm.runMigration(p, src, dst, true, resyncLimit)
 		vm.migActive = false
 		vm.migs = append(vm.migs, stats)
 		fut.Set(stats)
@@ -91,7 +163,7 @@ func (vm *VM) rates() (scanRate, netRate float64) {
 	return scanRate, netRate
 }
 
-func (vm *VM) runMigration(p *sim.Proc, src, dst *hw.Node) MigrationStats {
+func (vm *VM) runMigration(p *sim.Proc, src, dst *hw.Node, transparent bool, resyncLimit sim.Time) MigrationStats {
 	stats := MigrationStats{From: src.Name, To: dst.Name, Start: p.Now()}
 	params := vm.params
 	scanRate, netRate := vm.rates()
@@ -162,6 +234,11 @@ func (vm *VM) runMigration(p *sim.Proc, src, dst *hw.Node) MigrationStats {
 	if final := vm.mem.dirtyPassCosts(params.PageBytes); final.scanBytes > 0 {
 		onePass(final)
 	}
+	if transparent {
+		// QPs are quiescent now (vCPUs halted, application parked): capture
+		// the transport state and replay it on the destination HCA.
+		stats.RDMA = vm.replayQPs(p, src, dst, resyncLimit)
+	}
 	vm.switchHost(src, dst)
 	if wasRunning {
 		vm.Cont()
@@ -178,6 +255,69 @@ func netRateOrWire(netRate float64, src *hw.Node) float64 {
 		return netRate
 	}
 	return src.NIC.Adapter().UpLink().Bandwidth
+}
+
+// replayQPs performs the QP checkpoint/replay leg of a transparent
+// migration at the stop-and-copy point: snapshot the source HCA's queue
+// pairs, ship the encoded snapshot in the migration stream, and replay it
+// onto the destination HCA with a bounded resync. Any failure demotes the
+// VM to the hotplug rung on the destination — driver reset plus full link
+// training — instead of failing the migration.
+func (vm *VM) replayQPs(p *sim.Proc, src, dst *hw.Node, limit sim.Time) *RDMAStats {
+	rs := &RDMAStats{}
+	g := vm.guest
+	srcHCA := g.ib
+	dstHCA := dst.HCA
+	if dst == src {
+		dstHCA = srcHCA
+	}
+	if limit <= 0 {
+		limit = vm.params.RDMAResyncTimeout
+	}
+	rebind := func(h *fabric.HCA) {
+		if fn := vm.bus.At(HCASlot); fn != nil && fn.Class == pci.ClassIBHCA {
+			fn.Payload = h
+		}
+		g.ib = h
+	}
+	demote := func(err error) *RDMAStats {
+		rs.Demoted = true
+		rs.DemoteReason = err.Error()
+		// Hotplug rung on the destination: the guest driver resets the
+		// destination adapter and the link trains from scratch (the ≈30 s
+		// the native path was meant to avoid; observed in the link-up span
+		// because the application stays parked until the port is Active).
+		if dstHCA.State() != fabric.PortDown {
+			dstHCA.PowerOff()
+		}
+		dstHCA.PowerOn()
+		rebind(dstHCA)
+		return rs
+	}
+	snap, err := srcHCA.SnapshotQPs()
+	if err != nil {
+		return demote(err)
+	}
+	wire := snap.Encode()
+	rs.SnapshotBytes = len(wire)
+	// Decode on the destination side, exercising the portable encoding
+	// end to end exactly as the real migration stream would.
+	decoded, err := fabric.DecodeQPSnapshot(wire)
+	if err != nil {
+		srcHCA.DiscardQPs(snap)
+		return demote(err)
+	}
+	before := p.Now()
+	err = dstHCA.RestoreQPs(p, srcHCA, decoded, limit)
+	rs.Resync = p.Now() - before
+	if err != nil {
+		// The VM still leaves the source, so its QP state there is dead.
+		srcHCA.DiscardQPs(snap)
+		return demote(err)
+	}
+	rs.QPs = len(decoded.QPs)
+	rebind(dstHCA)
+	return rs
 }
 
 // switchHost moves the VM's residency: host memory accounting, the virtio

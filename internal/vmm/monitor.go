@@ -69,3 +69,11 @@ func (m *Monitor) HasPassthrough() bool {
 func (m *Monitor) Migrate(dst *hw.Node) (*sim.Future[MigrationStats], error) {
 	return m.vm.Migrate(dst)
 }
+
+// MigrateTransparent starts an RDMA-native live migration to dst: the
+// passthrough HCA stays attached and its QP state is replayed on the
+// destination (no hotplug, no link training). resyncLimit ≤ 0 uses the
+// VMM's default resync window.
+func (m *Monitor) MigrateTransparent(dst *hw.Node, resyncLimit sim.Time) (*sim.Future[MigrationStats], error) {
+	return m.vm.MigrateTransparent(dst, resyncLimit)
+}

@@ -98,6 +98,12 @@ type Params struct {
 	// MigrationThreads models multi-threaded migration (§V): scan and
 	// send rates scale with the thread count.
 	MigrationThreads int
+
+	// RDMAResyncTimeout bounds the destination-side QP resync of an
+	// RDMA-native (transparent) migration; a resync that would exceed it
+	// demotes the VM to the hotplug rung. Orchestrator policies may
+	// override it per migration.
+	RDMAResyncTimeout sim.Time
 }
 
 // DefaultParams returns the calibrated QEMU/KVM 1.1 cost model.
@@ -125,5 +131,6 @@ func DefaultParams() Params {
 		VirtioBandwidth:      1.25e9,
 		OSResidentBytes:      0.3e9,
 		MigrationThreads:     1,
+		RDMAResyncTimeout:    2 * sim.Second,
 	}
 }

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Bench-regression gate: runs the paper benchmarks at -benchtime 1x and
 # compares every deterministic sim-* metric — plus the farm-* Monte Carlo
-# sweep aggregates, churn-* policy costs and seq-* sequencer predictions —
+# sweep aggregates, churn-* policy costs, seq-* sequencer predictions and
+# rdma-* QP-replay ladder observables —
 # against the committed baseline (scripts/bench_baseline.json) via
 # cmd/benchdiff. Wall-clock metrics (ns/op, events/sec, runs/sec) are
 # informational only and never compared.

@@ -21,8 +21,12 @@ go run ./cmd/ninjabench -run=ext-fleet -fleet-jobs=3 -fleet-drain-cap=2 -kernel=
 # ...and the time-expanded max-flow sequencing matrix (the alternate
 # planner drives the same executor through merged rounds).
 go run ./cmd/ninjabench -run=ext-fleet -fleet-jobs=3 -fleet-drain-cap=2 -fleet-seq=maxflow >/dev/null
-# Monte Carlo sweep smoke under the race detector: 4×3×2 = 24 cells run
-# twice (parallelism 1 and 8) with the byte-identity check — 48 runs, well
+# RDMA-native ladder smoke under the race detector: every rung (clean QP
+# replay, the three injected demotions, the preflight demotion and the
+# hotplug baseline) on a 2-VM deployment.
+go run -race ./cmd/ninjabench -run=ext-rdma >/dev/null
+# Monte Carlo sweep smoke under the race detector: 5×3×2 = 30 cells run
+# twice (parallelism 1 and 8) with the byte-identity check — 60 runs, just
 # under the 64-run budget; a nondeterministic summary or a data race in
 # the farm's worker pool fails here.
 go run -race ./cmd/ninjabench -run=ext-sweep -sweep-jobs=2 -sweep-seeds=2 >/dev/null
